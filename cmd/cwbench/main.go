@@ -1,0 +1,129 @@
+// Command cwbench regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md for the experiment index):
+//
+//	cwbench                  # run everything
+//	cwbench -only fig11      # one artifact: table1, fig3, fig4, fig5,
+//	                         # example46, fig7, fig10, fig11, fig12
+//	cwbench -sizes 16,32,64  # override the size sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"configwall/internal/accel/gemmini"
+	"configwall/internal/core"
+	"configwall/internal/roofline"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single artifact (table1|fig3|fig4|fig5|example46|fig7|fig10|fig11|fig12)")
+	sizes := flag.String("sizes", "", "comma-separated matrix sizes overriding the per-figure defaults")
+	flag.Parse()
+
+	var override []int
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal("bad -sizes value %q: %v", s, err)
+			}
+			override = append(override, n)
+		}
+	}
+	pick := func(def []int) []int {
+		if len(override) > 0 {
+			return override
+		}
+		return def
+	}
+
+	want := func(name string) bool { return *only == "" || *only == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		section("Table 1: fields of the gemmini_loop_ws sequence")
+		fmt.Print(gemmini.Table1())
+	}
+	if want("fig3") {
+		ran = true
+		section("Figure 3: processor roofline")
+		m := roofline.Model{Name: "generic", PeakOps: 512, BWConfig: 1, BWMemory: 16}
+		fmt.Println("P_attainable = min(peak, BW_memory x I_operational)")
+		for _, iop := range []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128} {
+			fmt.Printf("  I_op = %6.1f ops/B -> %6.1f ops/cycle\n", iop, roofline.Processor(m.PeakOps, m.BWMemory, iop))
+		}
+	}
+	if want("fig4") {
+		ran = true
+		section("")
+		g := core.GemminiTarget().RooflineModel()
+		fmt.Print(core.RenderFigure4(g))
+	}
+	if want("fig5") {
+		ran = true
+		section("")
+		fmt.Print(core.RenderFigure5(core.OpenGeMMTarget().RooflineModel(), 8))
+	}
+	if want("example46") {
+		ran = true
+		section("")
+		fmt.Print(core.RenderSection46())
+	}
+	if want("fig7") {
+		ran = true
+		section("Figure 2/7: execution timelines before/after optimization")
+		out, err := core.RenderTimelines(core.OpenGeMMTarget(), 32, 100)
+		if err != nil {
+			fatal("fig7: %v", err)
+		}
+		fmt.Print(out)
+	}
+	if want("fig10") {
+		ran = true
+		section("")
+		rows, err := core.Figure10(pick(core.Figure10Sizes), core.RunOptions{})
+		if err != nil {
+			fatal("fig10: %v", err)
+		}
+		fmt.Print(core.RenderFigure10(rows))
+	}
+	if want("fig11") {
+		ran = true
+		section("")
+		rows, err := core.Figure11(pick(core.Figure11Sizes), core.RunOptions{})
+		if err != nil {
+			fatal("fig11: %v", err)
+		}
+		fmt.Print(core.RenderFigure11(rows))
+	}
+	if want("fig12") {
+		ran = true
+		section("")
+		data, err := core.Figure12(pick(core.Figure12Sizes), core.RunOptions{})
+		if err != nil {
+			fatal("fig12: %v", err)
+		}
+		fmt.Print(core.RenderFigure12(data))
+	}
+	if !ran {
+		fatal("unknown artifact %q (want table1|fig3|fig4|fig5|example46|fig7|fig10|fig11|fig12)", *only)
+	}
+}
+
+func section(title string) {
+	fmt.Println()
+	if title != "" {
+		fmt.Println(title)
+	}
+	fmt.Println(strings.Repeat("=", 76))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cwbench: "+format+"\n", args...)
+	os.Exit(1)
+}

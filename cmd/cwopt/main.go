@@ -1,0 +1,131 @@
+// Command cwopt is an mlir-opt-style pass driver over the textual IR: it
+// reads a module, runs a comma-separated pass pipeline, and prints the
+// result.
+//
+//	cwopt -p accfg-trace-states,accfg-dedup input.ir
+//	cwopt -list                # list available passes
+//	cwopt -help-ops            # list registered operations
+//	echo '...' | cwopt -p cse  # reads stdin when no file is given
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	_ "configwall/internal/dialects/accfg"
+	_ "configwall/internal/dialects/arith"
+	_ "configwall/internal/dialects/csrops"
+	_ "configwall/internal/dialects/fnc"
+	_ "configwall/internal/dialects/memref"
+	_ "configwall/internal/dialects/rocc"
+	_ "configwall/internal/dialects/scf"
+
+	"configwall/internal/ir"
+	"configwall/internal/lower"
+	"configwall/internal/passes"
+)
+
+// available maps pipeline names to pass constructors. Overlap assumes every
+// accelerator is concurrent when invoked from the command line; use the
+// experiment engine for per-target capability handling.
+var available = map[string]func() ir.Pass{
+	"canonicalize":                      passes.Canonicalize,
+	"cse":                               passes.CSE,
+	"licm":                              passes.LICM,
+	"inline":                            passes.Inline,
+	"simplify-trivial-loops":            passes.SimplifyTrivialLoops,
+	"accfg-trace-states":                passes.TraceStates,
+	"accfg-dedup":                       passes.Dedup,
+	"accfg-sink-setups-into-branches":   passes.SinkSetupsIntoBranches,
+	"accfg-hoist-loop-invariant-fields": passes.HoistLoopInvariantFields,
+	"accfg-merge-setups":                passes.MergeSetups,
+	"accfg-remove-empty-setups":         passes.RemoveEmptySetups,
+	"accfg-overlap":                     func() ir.Pass { return passes.Overlap(func(string) bool { return true }) },
+	"lower-accfg-to-gemmini":            lower.AccfgToGemmini,
+	"lower-accfg-to-opengemm":           lower.AccfgToOpenGeMM,
+}
+
+func main() {
+	pipeline := flag.String("p", "", "comma-separated pass pipeline")
+	list := flag.Bool("list", false, "list available passes")
+	helpOps := flag.Bool("help-ops", false, "list registered operations")
+	verify := flag.Bool("verify", true, "verify the IR between passes")
+	stats := flag.Bool("stats", false, "print per-pass op-count statistics to stderr")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(available))
+		for n := range available {
+			names = append(names, n)
+		}
+		sortStrings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *helpOps {
+		for _, n := range ir.RegisteredOps() {
+			info, _ := ir.Lookup(n)
+			fmt.Printf("%-28s %s\n", n, info.Summary)
+		}
+		return
+	}
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fatal("reading input: %v", err)
+	}
+
+	m, err := ir.Parse(string(src))
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := ir.Verify(m); err != nil {
+		fatal("input does not verify: %v", err)
+	}
+
+	pm := ir.NewPassManager()
+	pm.VerifyEach = *verify
+	if *pipeline != "" {
+		for _, name := range strings.Split(*pipeline, ",") {
+			name = strings.TrimSpace(name)
+			ctor, ok := available[name]
+			if !ok {
+				fatal("unknown pass %q (use -list)", name)
+			}
+			pm.Add(ctor())
+		}
+	}
+	if err := pm.Run(m); err != nil {
+		fatal("%v", err)
+	}
+	if *stats {
+		for _, line := range pm.Stats {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	fmt.Print(ir.PrintModule(m))
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cwopt: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command cwsim compiles one tiled-matmul workload and runs it on the
+// co-simulator, printing the measured counters, the roofline position and
+// optionally the execution timeline or the generated assembly:
+//
+//	cwsim -target opengemm -pipeline all -n 64 -timeline
+//	cwsim -target gemmini -pipeline base -n 128 -asm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"configwall/internal/codegen"
+	"configwall/internal/core"
+	"configwall/internal/ir"
+	"configwall/internal/trace"
+)
+
+func main() {
+	targetName := flag.String("target", "opengemm", "accelerator platform: gemmini | opengemm")
+	pipelineName := flag.String("pipeline", "all", "pipeline: base | dedup | overlap | all")
+	n := flag.Int("n", 64, "square matrix size")
+	timeline := flag.Bool("timeline", false, "print the execution timeline (Figure 7 style)")
+	width := flag.Int("timeline-width", 100, "timeline width in characters")
+	asm := flag.Bool("asm", false, "print the compiled host program")
+	irDump := flag.Bool("ir", false, "print the optimized IR before codegen")
+	stats := flag.Bool("stats", false, "print per-pass statistics")
+	flag.Parse()
+
+	var target core.Target
+	switch *targetName {
+	case "gemmini":
+		target = core.GemminiTarget()
+	case "opengemm":
+		target = core.OpenGeMMTarget()
+	default:
+		fatal("unknown target %q", *targetName)
+	}
+
+	var pipeline core.Pipeline
+	switch *pipelineName {
+	case "base":
+		pipeline = core.Baseline
+	case "dedup":
+		pipeline = core.DedupOnly
+	case "overlap":
+		pipeline = core.OverlapOnly
+	case "all":
+		pipeline = core.AllOptimizations
+	default:
+		fatal("unknown pipeline %q", *pipelineName)
+	}
+
+	if *asm || *irDump {
+		m, err := target.BuildMatmul(*n)
+		if err != nil {
+			fatal("%v", err)
+		}
+		pm := target.PassPipeline(pipeline)
+		if err := pm.Run(m); err != nil {
+			fatal("%v", err)
+		}
+		if *irDump {
+			fmt.Print(ir.PrintModule(m))
+		}
+		if *asm {
+			prog, _, err := codegen.Compile(m, "main", codegen.Options{StaticBase: 32 << 20})
+			if err != nil {
+				fatal("%v", err)
+			}
+			fmt.Print(prog.Disassemble())
+		}
+		return
+	}
+
+	res, err := core.RunTiledMatmul(target, pipeline, *n, core.RunOptions{RecordTrace: *timeline})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("target            %s (%s configuration)\n", res.Target, scheme(target))
+	fmt.Printf("pipeline          %s\n", res.Pipeline)
+	fmt.Printf("matrix size       %d x %d (ops = %d)\n", res.N, res.N, res.AccelOps)
+	fmt.Printf("total cycles      %d\n", res.Cycles)
+	fmt.Printf("performance       %.1f ops/cycle (%.1f%% of %g peak)\n", res.OpsPerCycle(), 100*res.Utilization(), res.PeakOps)
+	fmt.Printf("host instructions %d (%d configuration writes)\n", res.HostInstrs, res.ConfigInstrs)
+	fmt.Printf("config bytes      %d\n", res.ConfigBytes)
+	fmt.Printf("I_OC              %.1f ops/byte\n", res.MeasuredIOC())
+	fmt.Printf("BW_config (raw)   %.3f bytes/cycle\n", res.RawConfigBW())
+	fmt.Printf("BW_config (eff.)  %.3f bytes/cycle\n", res.EffectiveConfigBW())
+	fmt.Printf("Eq.3 attainable   %.1f ops/cycle\n", res.AttainableEq3())
+	fmt.Printf("host stall cycles %d, accel busy cycles %d\n", res.StallCycles, res.AccelBusyCycles)
+	fmt.Printf("verified          %v\n", res.Verified)
+	if *stats {
+		fmt.Println("\nper-pass statistics:")
+		for _, line := range res.PassStats {
+			fmt.Println("  " + line)
+		}
+	}
+	if *timeline {
+		fmt.Println()
+		fmt.Print(trace.Timeline(res.Trace, 0, res.Cycles, *width))
+	}
+}
+
+func scheme(t core.Target) string {
+	if t.Concurrent {
+		return "concurrent"
+	}
+	return "sequential"
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cwsim: "+format+"\n", args...)
+	os.Exit(1)
+}

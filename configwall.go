@@ -1,0 +1,101 @@
+// Package configwall reproduces "The Configuration Wall: Characterization
+// and Elimination of Accelerator Configuration Overhead" (ASPLOS 2026) as a
+// self-contained Go library.
+//
+// It bundles three layers:
+//
+//   - A compiler: an SSA IR with the paper's accfg dialect
+//     (setup/launch/await), the configuration-deduplication and
+//     configuration–computation-overlap passes, and lowerings to two
+//     accelerator command-stream dialects.
+//   - A platform simulator: an RV64-subset host co-simulated with
+//     Gemmini-style (sequential configuration) and OpenGeMM-style
+//     (concurrent configuration) accelerator models, with functional
+//     execution and the paper's performance counters.
+//   - The configuration roofline model (Eq. 1–5) and an experiment engine
+//     that regenerates every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	target := configwall.OpenGeMMTarget()
+//	res, err := configwall.RunTiledMatmul(target, configwall.AllOptimizations, 64, configwall.RunOptions{})
+//	if err != nil { ... }
+//	fmt.Printf("%.1f ops/cycle (%.0f%% of peak)\n", res.OpsPerCycle(), 100*res.Utilization())
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// per-experiment index.
+package configwall
+
+import (
+	"configwall/internal/core"
+	"configwall/internal/roofline"
+)
+
+// Pipeline selects which of the paper's optimizations run.
+type Pipeline = core.Pipeline
+
+// Pipeline variants (paper Figure 12's base / dedup / overlap / all).
+const (
+	// Baseline models -O2 on volatile inline assembly.
+	Baseline = core.Baseline
+	// DedupOnly adds configuration deduplication (paper §5.4).
+	DedupOnly = core.DedupOnly
+	// OverlapOnly adds configuration-computation overlap (paper §5.5).
+	OverlapOnly = core.OverlapOnly
+	// AllOptimizations applies the full accfg pipeline.
+	AllOptimizations = core.AllOptimizations
+)
+
+// Pipelines lists all variants in presentation order.
+var Pipelines = core.Pipelines
+
+// Target bundles a simulated accelerator platform and its compiler
+// lowering.
+type Target = core.Target
+
+// Result carries the measurements of one simulated run.
+type Result = core.Result
+
+// RunOptions tweaks experiment execution.
+type RunOptions = core.RunOptions
+
+// GemminiTarget returns the Gemmini-style platform: a 16x16 systolic array
+// (512 ops/cycle) with sequential configuration via RoCC custom
+// instructions on a Rocket-class RV64 host.
+func GemminiTarget() Target { return core.GemminiTarget() }
+
+// OpenGeMMTarget returns the OpenGeMM-style platform: an 8x8x8 GeMM core
+// (1024 ops/cycle) with concurrent (staged) configuration via CSRs on a
+// tiny in-order host.
+func OpenGeMMTarget() Target { return core.OpenGeMMTarget() }
+
+// RunTiledMatmul compiles the n x n tiled matrix multiplication for the
+// target under the chosen pipeline, simulates it, verifies the result
+// against a golden CPU matmul, and returns the measurements.
+func RunTiledMatmul(t Target, p Pipeline, n int, opts RunOptions) (Result, error) {
+	return core.RunTiledMatmul(t, p, n, opts)
+}
+
+// RooflineModel is the paper's configuration roofline (§4).
+type RooflineModel = roofline.Model
+
+// Sequential evaluates Eq. 3: attainable performance of a sequentially
+// configured accelerator.
+func Sequential(peakOps, bwConfig, ioc float64) float64 {
+	return roofline.Sequential(peakOps, bwConfig, ioc)
+}
+
+// Concurrent evaluates Eq. 2: attainable performance of a concurrently
+// configured accelerator.
+func Concurrent(peakOps, bwConfig, ioc float64) float64 {
+	return roofline.Concurrent(peakOps, bwConfig, ioc)
+}
+
+// EffectiveConfigBW evaluates Eq. 4: configuration bandwidth corrected for
+// parameter-calculation time.
+func EffectiveConfigBW(configBytes, tCalc, tSet float64) float64 {
+	return roofline.EffectiveConfigBW(configBytes, tCalc, tSet)
+}
+
+// Geomean returns the geometric mean, the paper's summary statistic.
+func Geomean(xs []float64) float64 { return core.Geomean(xs) }

@@ -1,0 +1,85 @@
+package configwall_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"configwall"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	target := configwall.OpenGeMMTarget()
+	res, err := configwall.RunTiledMatmul(target, configwall.AllOptimizations, 32, configwall.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("run not verified")
+	}
+	if res.OpsPerCycle() <= 0 || res.Utilization() <= 0 || res.Utilization() > 1 {
+		t.Errorf("implausible performance: %f ops/cycle, %f utilization", res.OpsPerCycle(), res.Utilization())
+	}
+}
+
+func TestPublicRooflineHelpers(t *testing.T) {
+	// The paper's §4.6 numbers through the public API.
+	util := configwall.Sequential(512, 16.0/9.0, 204.8) / 512
+	if util < 0.41 || util > 0.42 {
+		t.Errorf("Sequential utilization = %f, want ~0.4156", util)
+	}
+	if configwall.Concurrent(512, 2, 1e9) != 512 {
+		t.Error("Concurrent must saturate at peak")
+	}
+	bw := configwall.EffectiveConfigBW(2560, 775*3, 160*3)
+	if bw < 0.91 || bw > 0.92 {
+		t.Errorf("EffectiveConfigBW = %f, want ~0.913", bw)
+	}
+	if g := configwall.Geomean([]float64{1, 4}); g != 2 {
+		t.Errorf("Geomean = %f, want 2", g)
+	}
+}
+
+// TestSemanticPreservationProperty is the repository-level safety property:
+// for random (target, pipeline, size) triples, the compiled-and-simulated
+// program always matches the golden CPU matmul. The verification runs
+// inside RunTiledMatmul; an optimization bug surfaces as an error.
+func TestSemanticPreservationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	targets := []configwall.Target{configwall.GemminiTarget(), configwall.OpenGeMMTarget()}
+	prop := func(targetSel, pipeSel, sizeSel uint8) bool {
+		target := targets[int(targetSel)%2]
+		pipeline := configwall.Pipelines[int(pipeSel)%len(configwall.Pipelines)]
+		var n int
+		if target.Name == "gemmini" {
+			n = []int{16, 32, 48}[int(sizeSel)%3]
+		} else {
+			n = []int{8, 16, 24, 40}[int(sizeSel)%4]
+		}
+		res, err := configwall.RunTiledMatmul(target, pipeline, n, configwall.RunOptions{})
+		if err != nil {
+			t.Logf("%s/%s/%d: %v", target.Name, pipeline, n, err)
+			return false
+		}
+		return res.Verified
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 24}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipelineEnumeration(t *testing.T) {
+	if len(configwall.Pipelines) != 4 {
+		t.Fatalf("Pipelines = %d entries, want 4", len(configwall.Pipelines))
+	}
+	names := map[string]bool{}
+	for _, p := range configwall.Pipelines {
+		names[p.String()] = true
+	}
+	for _, want := range []string{"base", "dedup", "overlap", "all"} {
+		if !names[want] {
+			t.Errorf("missing pipeline %q", want)
+		}
+	}
+}

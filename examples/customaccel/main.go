@@ -1,0 +1,211 @@
+// Custom accelerator (paper Figure 8's "Your Acc" slot): the accfg
+// abstraction and all its optimization passes are target-agnostic — only
+// the final lowering and a device model are accelerator-specific. This
+// example brings up a brand-new CSR-configured vector-scale accelerator
+// ("scaler"), reusing the whole shared pipeline:
+//
+//  1. define the device model (functional behavior + timing),
+//
+//  2. build accfg IR against its field names,
+//
+//  3. run the shared dedup/overlap passes,
+//
+//  4. write the ~30-line target lowering,
+//
+//  5. co-simulate and verify.
+//
+//     go run ./examples/customaccel
+package main
+
+import (
+	"fmt"
+
+	"configwall/internal/accel"
+	"configwall/internal/codegen"
+	"configwall/internal/dialects/accfg"
+	"configwall/internal/dialects/arith"
+	"configwall/internal/dialects/csrops"
+	"configwall/internal/dialects/fnc"
+	"configwall/internal/dialects/memref"
+	"configwall/internal/dialects/scf"
+	"configwall/internal/ir"
+	"configwall/internal/lower"
+	"configwall/internal/mem"
+	"configwall/internal/passes"
+	"configwall/internal/riscv"
+	"configwall/internal/sim"
+)
+
+// CSR map of the custom device.
+const (
+	csrSrc uint32 = 0x7c0 + iota
+	csrDst
+	csrLen
+	csrScale
+	csrLaunch
+	csrBusy
+)
+
+var fieldCSRs = map[string]uint32{
+	"src": csrSrc, "dst": csrDst, "len": csrLen, "scale": csrScale,
+}
+
+// scaler multiplies a vector of int32 by a scalar: dst[i] = src[i] * scale.
+// It configures concurrently (staged CSRs) at 8 elements/cycle.
+type scaler struct {
+	staging map[uint32]uint32
+}
+
+func (s *scaler) Name() string              { return "scaler" }
+func (s *scaler) Scheme() accel.Scheme      { return accel.Concurrent }
+func (s *scaler) ConfigBytes(uint32) uint64 { return 4 }
+func (s *scaler) IsLaunch(id uint32) bool   { return id == csrLaunch }
+func (s *scaler) IsFence(uint32) bool       { return false }
+func (s *scaler) StatusID() (uint32, bool)  { return csrBusy, true }
+func (s *scaler) WriteConfig(id uint32, lo, _ uint64) {
+	s.staging[id] = uint32(lo)
+}
+
+func (s *scaler) Launch(m *mem.Memory) (accel.Launch, error) {
+	src := uint64(s.staging[csrSrc])
+	dst := uint64(s.staging[csrDst])
+	n := uint64(s.staging[csrLen])
+	scale := int32(s.staging[csrScale])
+	if n == 0 {
+		return accel.Launch{}, accel.ErrBadConfig("scaler", "zero length")
+	}
+	for i := uint64(0); i < n; i++ {
+		v := int32(m.Read32(src + 4*i))
+		m.Write32(dst+4*i, uint32(v*scale))
+	}
+	return accel.Launch{Ops: n, Cycles: n/8 + 4}, nil
+}
+
+// lowerScaler is the only accelerator-specific compiler code needed:
+// setup fields become CSR writes, launch hits the launch CSR, await polls
+// the busy CSR (compare paper Figure 8, step 5).
+func lowerScaler() ir.Pass {
+	return ir.PassFunc{
+		PassName: "lower-accfg-to-scaler",
+		Fn: func(m *ir.Module) error {
+			var err error
+			m.Walk(func(op *ir.Op) {
+				if err != nil {
+					return
+				}
+				switch op.Name() {
+				case accfg.OpSetup:
+					s, _ := accfg.AsSetup(op)
+					if s.Accelerator() != "scaler" {
+						return
+					}
+					b := ir.Before(op)
+					for _, f := range s.Fields() {
+						addr, ok := fieldCSRs[f.Name]
+						if !ok {
+							err = fmt.Errorf("unknown scaler field %q", f.Name)
+							return
+						}
+						csrops.NewWrite(b, addr, f.Value)
+					}
+				case accfg.OpLaunch:
+					l, _ := accfg.AsLaunch(op)
+					if l.Accelerator() != "scaler" {
+						return
+					}
+					b := ir.Before(op)
+					csrops.NewWrite(b, csrLaunch, arith.NewConstant(b, 1, ir.I64))
+				case accfg.OpAwait:
+					a, _ := accfg.AsAwait(op)
+					if a.Token().Type().(ir.TokenType).Accelerator != "scaler" {
+						return
+					}
+					csrops.NewBarrier(ir.Before(op), csrBusy)
+				}
+			})
+			if err != nil {
+				return err
+			}
+			return lower.StripAccfgTypes(m, "scaler")
+		},
+	}
+}
+
+func main() {
+	const rows, cols = 16, 64
+
+	// A program that scales each row of a matrix by 3, one launch per row.
+	m := ir.NewModule()
+	bufT := ir.MemRef(ir.I32, rows, cols)
+	f := fnc.NewFunc("main", ir.FuncType([]ir.Type{bufT, bufT}, nil))
+	m.Append(f.Op)
+	b := ir.AtEnd(f.Body())
+	src := memref.NewExtractPointer(b, f.Body().Arg(0))
+	dst := memref.NewExtractPointer(b, f.Body().Arg(1))
+
+	lb := arith.NewConstant(b, 0, ir.Index)
+	ub := arith.NewConstant(b, rows, ir.Index)
+	step := arith.NewConstant(b, 1, ir.Index)
+	loop := scf.NewFor(b, lb, ub, step)
+	lbld := ir.AtEnd(loop.Body())
+	row := arith.NewIndexCast(lbld, loop.InductionVar(), ir.I64)
+	rowBytes := arith.NewMul(lbld, row, arith.NewConstant(lbld, cols*4, ir.I64))
+	setup := accfg.NewSetup(lbld, "scaler", nil, []accfg.Field{
+		{Name: "src", Value: arith.NewAdd(lbld, src, rowBytes)},
+		{Name: "dst", Value: arith.NewAdd(lbld, dst, rowBytes)},
+		{Name: "len", Value: arith.NewConstant(lbld, cols, ir.I64)},
+		{Name: "scale", Value: arith.NewConstant(lbld, 3, ir.I64)},
+	})
+	launch := accfg.NewLaunch(lbld, setup.State())
+	accfg.NewAwait(lbld, launch.Token())
+	scf.NewYield(lbld)
+	fnc.NewReturn(b)
+
+	run := func(label string, pm *ir.PassManager) uint64 {
+		mc := m.Clone()
+		if err := pm.Run(mc); err != nil {
+			panic(err)
+		}
+		prog, _, err := codegen.Compile(mc, "main", codegen.Options{StaticBase: 8 << 20})
+		if err != nil {
+			panic(err)
+		}
+		memory := mem.New(16 << 20)
+		srcBase, dstBase := uint64(1<<20), uint64(2<<20)
+		for i := 0; i < rows*cols; i++ {
+			memory.Write32(srcBase+uint64(4*i), uint32(i))
+		}
+		machine := sim.NewMachine(memory, riscv.SnitchCost(), &scaler{staging: map[uint32]uint32{}})
+		machine.Regs[riscv.A0] = int64(srcBase)
+		machine.Regs[riscv.A0+1] = int64(dstBase)
+		machine.Regs[riscv.SP] = 12 << 20
+		if err := machine.Run(prog); err != nil {
+			panic(err)
+		}
+		for i := 0; i < rows*cols; i++ {
+			if got := int32(memory.Read32(dstBase + uint64(4*i))); got != int32(i)*3 {
+				panic(fmt.Sprintf("%s: dst[%d] = %d, want %d", label, i, got, int32(i)*3))
+			}
+		}
+		fmt.Printf("%-22s %6d cycles  (%d config writes, verified)\n",
+			label, machine.Cycles, machine.ConfigInstrs)
+		return machine.Cycles
+	}
+
+	fmt.Println("custom 'scaler' accelerator, 16 launches of 64-element row scaling:")
+	base := run("baseline", ir.NewPassManager(lowerScaler()))
+	opt := run("dedup+overlap", ir.NewPassManager(
+		passes.Canonicalize(), passes.CSE(), passes.LICM(),
+		passes.TraceStates(),
+		passes.HoistLoopInvariantFields(),
+		passes.Dedup(),
+		passes.MergeSetups(),
+		passes.RemoveEmptySetups(),
+		passes.Overlap(func(a string) bool { return a == "scaler" }),
+		passes.Canonicalize(),
+		lowerScaler(),
+		passes.Canonicalize(), passes.CSE(),
+	))
+	fmt.Printf("\nspeedup: %.2fx — all shared passes reused; only the lowering (~30\n", float64(base)/float64(opt))
+	fmt.Println("lines) and the device model were written for this accelerator.")
+}

@@ -1,0 +1,44 @@
+// Gemmini case study (paper §6.1): compile weight-stationary tiled matrix
+// multiplications for the sequentially-configured Gemmini-style platform,
+// with and without the accfg optimizations, and compare attainable
+// performance using the paper's Eq. 3 methodology.
+//
+//	go run ./examples/gemmini
+package main
+
+import (
+	"fmt"
+
+	"configwall"
+)
+
+func main() {
+	target := configwall.GemminiTarget()
+	fmt.Println("Gemmini-style platform: 16x16 systolic array, 512 ops/cycle peak,")
+	fmt.Println("sequential configuration via RoCC custom instructions (host stalls).")
+	fmt.Println()
+	fmt.Printf("%-6s | %-28s | %-28s | %s\n", "size", "volatile-asm baseline", "accfg (ours)", "uplift")
+	fmt.Printf("%-6s | %14s %13s | %14s %13s |\n", "", "Eq.3 ops/cycle", "config bytes", "Eq.3 ops/cycle", "config bytes")
+
+	var speedups []float64
+	for _, n := range []int{32, 64, 128, 256} {
+		base, err := configwall.RunTiledMatmul(target, configwall.Baseline, n, configwall.RunOptions{})
+		if err != nil {
+			panic(err)
+		}
+		opt, err := configwall.RunTiledMatmul(target, configwall.AllOptimizations, n, configwall.RunOptions{})
+		if err != nil {
+			panic(err)
+		}
+		up := opt.AttainableEq3() / base.AttainableEq3()
+		speedups = append(speedups, up)
+		fmt.Printf("%-6d | %14.0f %13d | %14.0f %13d | %+.0f%%\n",
+			n, base.AttainableEq3(), base.ConfigBytes, opt.AttainableEq3(), opt.ConfigBytes,
+			100*(up-1))
+	}
+	fmt.Printf("\ngeomean uplift: %+.0f%% (every run verified against the golden CPU matmul)\n",
+		100*(configwall.Geomean(speedups)-1))
+	fmt.Println("\nDeduplication removes redundant RoCC writes across tiles; because the")
+	fmt.Println("accelerator configures sequentially, overlap cannot apply (paper §2.2),")
+	fmt.Println("so the remaining gain comes from folding and hoisting the bit-packing.")
+}

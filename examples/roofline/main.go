@@ -1,0 +1,62 @@
+// Roofline analysis (paper §4): evaluate the configuration roofline for
+// your own accelerator parameters — where is the knee, when does a workload
+// hit the configuration wall, and what would concurrent configuration or a
+// wider configuration port buy you?
+//
+//	go run ./examples/roofline
+package main
+
+import (
+	"fmt"
+
+	"configwall/internal/roofline"
+)
+
+func main() {
+	// A hypothetical accelerator: 256 ops/cycle, configured over a 32-bit
+	// port at one write per 2 cycles = 2 B/cycle.
+	m := roofline.Model{
+		Name:     "hypothetical",
+		PeakOps:  256,
+		BWConfig: 2,
+	}
+	fmt.Println(m.String())
+	fmt.Println()
+
+	// The paper's running example (§2.1): a kernel that launches after
+	// every few configuration bytes sits deep in the config-bound region.
+	fmt.Printf("%-14s %16s %16s %14s\n", "I_OC (ops/B)", "sequential", "concurrent", "bound?")
+	for _, ioc := range []float64{4, 16, 64, m.Knee(), 512, 2048} {
+		seq := roofline.Sequential(m.PeakOps, m.BWConfig, ioc)
+		conc := roofline.Concurrent(m.PeakOps, m.BWConfig, ioc)
+		fmt.Printf("%-14.1f %10.1f ops/cy %10.1f ops/cy %14s\n",
+			ioc, seq, conc, roofline.Classify(m.PeakOps, m.BWConfig, ioc))
+	}
+
+	fmt.Println()
+	fmt.Println("At the knee point the gap between sequential and concurrent")
+	fmt.Println("configuration peaks (paper §4.3): exactly half the time is spent")
+	fmt.Printf("configuring. Here: %.0f vs %.0f ops/cycle (2x).\n",
+		roofline.Sequential(m.PeakOps, m.BWConfig, m.Knee()),
+		roofline.Concurrent(m.PeakOps, m.BWConfig, m.Knee()))
+
+	// What-if analysis: double the configuration bandwidth vs double the
+	// peak performance for a config-bound workload.
+	ioc := 32.0
+	fmt.Println()
+	fmt.Printf("config-bound workload at I_OC = %.0f ops/B:\n", ioc)
+	fmt.Printf("  today:            %6.1f ops/cycle\n", roofline.Sequential(m.PeakOps, m.BWConfig, ioc))
+	fmt.Printf("  2x peak compute:  %6.1f ops/cycle (the wall: barely moves)\n",
+		roofline.Sequential(2*m.PeakOps, m.BWConfig, ioc))
+	fmt.Printf("  2x config BW:     %6.1f ops/cycle\n", roofline.Sequential(m.PeakOps, 2*m.BWConfig, ioc))
+	fmt.Printf("  go concurrent:    %6.1f ops/cycle\n", roofline.Concurrent(m.PeakOps, m.BWConfig, ioc))
+
+	// Render the Figure 4 style plot.
+	fmt.Println()
+	plot := roofline.NewAsciiPlot(70, 16)
+	plot.XMin, plot.XMax = 1, 16384
+	plot.YMin, plot.YMax = 1, 512
+	plot.AddCurve(m.CurveSequential(1, 16384, 70))
+	plot.AddCurve(m.CurveConcurrent(1, 16384, 70))
+	fmt.Print(plot.Render())
+}

@@ -1,0 +1,77 @@
+// Package accel defines the accelerator-side contract of the co-simulator:
+// a configuration port (written by RoCC custom instructions or CSR writes),
+// a launch trigger, and a busy/duration model. Two configuration schemes
+// exist, matching the paper's taxonomy (§2.2):
+//
+//   - Sequential: the host stalls when it touches the accelerator while a
+//     computation is in flight (Gemmini-style).
+//   - Concurrent: configuration writes land in staging registers while the
+//     accelerator runs; only launches and barriers synchronize
+//     (OpenGeMM-style).
+package accel
+
+import (
+	"fmt"
+
+	"configwall/internal/mem"
+)
+
+// Scheme is the configuration scheme of a device (paper §2.2).
+type Scheme int
+
+// Configuration schemes.
+const (
+	// Sequential configuration: no configuration while running.
+	Sequential Scheme = iota
+	// Concurrent configuration: staged configuration while running.
+	Concurrent
+)
+
+func (s Scheme) String() string {
+	if s == Concurrent {
+		return "concurrent"
+	}
+	return "sequential"
+}
+
+// Launch is the outcome of a decoded launch request.
+type Launch struct {
+	// Ops is the number of useful operations the job performs (MACs count
+	// as two ops, following the paper).
+	Ops uint64
+	// Cycles is how long the accelerator stays busy.
+	Cycles uint64
+}
+
+// Device is a simulated accelerator attached to the host.
+type Device interface {
+	// Name returns the accelerator name (matches the accfg dialect name).
+	Name() string
+	// Scheme returns the configuration scheme.
+	Scheme() Scheme
+	// WriteConfig handles one configuration write. id is the RoCC funct7
+	// or the CSR address; lo/hi are the payload registers (hi is zero for
+	// CSR-style single-word ports).
+	WriteConfig(id uint32, lo, hi uint64)
+	// ConfigBytes returns how many configuration bytes a write to id
+	// carries (16 for RoCC instruction pairs, 4 for 32-bit CSRs).
+	ConfigBytes(id uint32) uint64
+	// IsLaunch reports whether a write to id triggers a computation
+	// (launch-semantic configuration writes, paper §2.4).
+	IsLaunch(id uint32) bool
+	// IsFence reports whether a write to id is a synchronization fence
+	// (host blocks until idle).
+	IsFence(id uint32) bool
+	// StatusID returns the id polled for busy status (CSR-style barriers);
+	// ok=false when the device has no status port.
+	StatusID() (id uint32, ok bool)
+	// Launch snapshots the staged configuration and functionally executes
+	// the job against memory, returning its cost.
+	Launch(m *mem.Memory) (Launch, error)
+}
+
+// ErrBadConfig wraps configuration decode failures so the simulator can
+// surface them with context.
+func ErrBadConfig(device string, format string, args ...any) error {
+	return fmt.Errorf("%s: bad configuration: %s", device, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,343 @@
+// Package gemmini models a Gemmini-style weight-stationary systolic-array
+// matrix-multiplication accelerator (paper §2.4): a 16x16 array of int8 MAC
+// units driven by a Rocket-class RV64 host through RoCC custom instructions,
+// with *sequential* configuration — the accelerator cannot be reconfigured
+// while running, and the final instruction of the configuration sequence
+// implicitly launches the computation ("launch-semantic" configuration).
+package gemmini
+
+import (
+	"fmt"
+
+	"configwall/internal/accel"
+	"configwall/internal/mem"
+)
+
+// Name is the accelerator name used in accfg types and lowerings.
+const Name = "gemmini"
+
+// Dim is the systolic array dimension: DimxDim MACs.
+const Dim = 16
+
+// PeakOpsPerCycle is the peak throughput: Dim*Dim MACs, two ops each
+// (paper §4.6: 16*16*2 = 512 ops/cycle).
+const PeakOpsPerCycle = 2 * Dim * Dim
+
+// RoCC funct7 values of the simulated gemmini_loop_ws instruction sequence.
+// Each instruction carries two 64-bit registers = 16 configuration bytes.
+// The sequence mirrors the granularity of Gemmini's real configuration
+// flow: per-operand address/stride/scratchpad instructions and per-channel
+// DMA configuration, which is what makes the weight-stationary kernel cost
+// on the order of twenty RoCC instructions per invocation (§6.1).
+const (
+	FnConfigEx      uint32 = iota // flags: act, transposes, output modes
+	FnConfigAcc                   // accumulator scale / accumulate mode
+	FnConfigBounds                // I, J, K tile counts
+	FnConfigPads                  // pad_I, pad_J, pad_K
+	FnConfigAddrA                 // main-memory address of A
+	FnConfigAddrB                 // main-memory address of B
+	FnConfigAddrD                 // main-memory address of D
+	FnConfigAddrC                 // main-memory address of C
+	FnConfigStrideA               // row stride of A
+	FnConfigStrideB               // row stride of B
+	FnConfigStrideD               // row stride of D
+	FnConfigStrideC               // row stride of C
+	FnConfigSpadA                 // scratchpad base for A tiles (cost-only)
+	FnConfigSpadB                 // scratchpad base for B tiles (cost-only)
+	FnConfigSpadD                 // scratchpad base for D tiles (cost-only)
+	FnConfigSpadC                 // scratchpad base for C tiles (cost-only)
+	FnConfigMvin0                 // DMA load channel 0 shape (cost-only)
+	FnConfigMvin1                 // DMA load channel 1 shape (cost-only)
+	FnConfigMvin2                 // DMA load channel 2 shape (cost-only)
+	FnConfigMvout                 // DMA store shape (cost-only)
+	FnLoopWS                      // launch-semantic: starts the computation
+	FnFence                       // synchronization fence: host blocks until idle
+)
+
+// FieldSlot describes where one accfg field lives inside an instruction's
+// register pair.
+type FieldSlot struct {
+	Field  string
+	Reg    int // 0 = rs1, 1 = rs2
+	Offset uint
+	Bits   uint
+}
+
+// ConfigInstr describes one instruction of the configuration sequence.
+type ConfigInstr struct {
+	Funct7 uint32
+	Name   string
+	Slots  []FieldSlot
+	// Launch marks the launch-semantic instruction.
+	Launch bool
+}
+
+// Sequence is the full gemmini_loop_ws configuration sequence in issue
+// order. The accfg-to-RoCC lowering walks this table to emit instructions
+// and the simulator walks it to decode register writes; Table 1 of the
+// paper is regenerated from it.
+var Sequence = []ConfigInstr{
+	{Funct7: FnConfigEx, Name: "config_ex", Slots: []FieldSlot{
+		{"act", 0, 0, 6},
+		{"A_transpose", 0, 6, 1},
+		{"B_transpose", 0, 7, 1},
+		{"full_C", 1, 0, 1},
+		{"low_D", 1, 1, 1},
+	}},
+	{Funct7: FnConfigAcc, Name: "config_acc", Slots: []FieldSlot{
+		{"ex_accumulate", 0, 0, 1},
+		{"acc_scale", 1, 0, 32},
+	}},
+	{Funct7: FnConfigBounds, Name: "config_bounds", Slots: []FieldSlot{
+		{"I", 0, 0, 16},
+		{"J", 0, 16, 16},
+		{"K", 1, 0, 16},
+	}},
+	{Funct7: FnConfigPads, Name: "config_pads", Slots: []FieldSlot{
+		{"pad_I", 0, 0, 16},
+		{"pad_J", 0, 16, 16},
+		{"pad_K", 1, 0, 16},
+	}},
+	{Funct7: FnConfigAddrA, Name: "config_addr_a", Slots: []FieldSlot{{"A", 0, 0, 64}}},
+	{Funct7: FnConfigAddrB, Name: "config_addr_b", Slots: []FieldSlot{{"B", 0, 0, 64}}},
+	{Funct7: FnConfigAddrD, Name: "config_addr_d", Slots: []FieldSlot{{"D", 0, 0, 64}}},
+	{Funct7: FnConfigAddrC, Name: "config_addr_c", Slots: []FieldSlot{{"C", 0, 0, 64}}},
+	{Funct7: FnConfigStrideA, Name: "config_stride_a", Slots: []FieldSlot{{"stride_A", 0, 0, 64}}},
+	{Funct7: FnConfigStrideB, Name: "config_stride_b", Slots: []FieldSlot{{"stride_B", 0, 0, 64}}},
+	{Funct7: FnConfigStrideD, Name: "config_stride_d", Slots: []FieldSlot{{"stride_D", 0, 0, 64}}},
+	{Funct7: FnConfigStrideC, Name: "config_stride_c", Slots: []FieldSlot{{"stride_C", 0, 0, 64}}},
+	{Funct7: FnConfigSpadA, Name: "config_spad_a", Slots: []FieldSlot{{"spad_A", 0, 0, 32}}},
+	{Funct7: FnConfigSpadB, Name: "config_spad_b", Slots: []FieldSlot{{"spad_B", 0, 0, 32}}},
+	{Funct7: FnConfigSpadD, Name: "config_spad_d", Slots: []FieldSlot{{"spad_D", 0, 0, 32}}},
+	{Funct7: FnConfigSpadC, Name: "config_spad_c", Slots: []FieldSlot{{"spad_C", 0, 0, 32}}},
+	{Funct7: FnConfigMvin0, Name: "config_mvin0", Slots: []FieldSlot{
+		{"mvin0_rows", 0, 0, 16},
+		{"mvin0_cols", 0, 16, 16},
+		{"mvin0_stride", 1, 0, 32},
+	}},
+	{Funct7: FnConfigMvin1, Name: "config_mvin1", Slots: []FieldSlot{
+		{"mvin1_rows", 0, 0, 16},
+		{"mvin1_cols", 0, 16, 16},
+		{"mvin1_stride", 1, 0, 32},
+	}},
+	{Funct7: FnConfigMvin2, Name: "config_mvin2", Slots: []FieldSlot{
+		{"mvin2_rows", 0, 0, 16},
+		{"mvin2_cols", 0, 16, 16},
+		{"mvin2_stride", 1, 0, 32},
+	}},
+	{Funct7: FnConfigMvout, Name: "config_mvout", Slots: []FieldSlot{
+		{"mvout_rows", 0, 0, 16},
+		{"mvout_cols", 0, 16, 16},
+		{"mvout_stride", 1, 0, 32},
+	}},
+	{Funct7: FnLoopWS, Name: "loop_ws", Launch: true},
+}
+
+// FieldBits returns every configurable field with its bit width, in
+// sequence order — the data behind the paper's Table 1.
+func FieldBits() []struct {
+	Field string
+	Bits  uint
+} {
+	var out []struct {
+		Field string
+		Bits  uint
+	}
+	for _, ci := range Sequence {
+		for _, s := range ci.Slots {
+			out = append(out, struct {
+				Field string
+				Bits  uint
+			}{s.Field, s.Bits})
+		}
+	}
+	return out
+}
+
+// FieldMeanings maps each field to the Table 1 "meaning" column.
+var FieldMeanings = map[string]string{
+	"A": "Address in main memory of matrix A", "B": "Address in main memory of matrix B",
+	"D": "Address in main memory of matrix D (bias)", "C": "Address in main memory of matrix C",
+	"I": "Size of the output in row tiles", "J": "Size of the output in column tiles",
+	"K":     "Size of the reduction dimension in tiles",
+	"pad_I": "Padding applied to I", "pad_J": "Padding applied to J", "pad_K": "Padding applied to K",
+	"stride_A": "Row stride to access A in memory", "stride_B": "Row stride to access B in memory",
+	"stride_D": "Row stride to access D in memory", "stride_C": "Row stride to access C in memory",
+	"act":         "Activation function applied on the output",
+	"A_transpose": "Whether input matrix A is transposed", "B_transpose": "Whether input matrix B is transposed",
+	"full_C": "Whether C is stored at full (32-bit) precision", "low_D": "Whether D is stored at low (8-bit) precision",
+	"ex_accumulate": "Whether the execute pipeline accumulates into the output",
+	"acc_scale":     "Scale factor applied when reading the accumulator",
+	"spad_A":        "Scratchpad base address for A tiles", "spad_B": "Scratchpad base address for B tiles",
+	"spad_D": "Scratchpad base address for D tiles", "spad_C": "Scratchpad base address for C tiles",
+	"mvin0_rows": "DMA load channel 0 rows per transfer", "mvin0_cols": "DMA load channel 0 columns per transfer",
+	"mvin0_stride": "DMA load channel 0 stride",
+	"mvin1_rows":   "DMA load channel 1 rows per transfer", "mvin1_cols": "DMA load channel 1 columns per transfer",
+	"mvin1_stride": "DMA load channel 1 stride",
+	"mvin2_rows":   "DMA load channel 2 rows per transfer", "mvin2_cols": "DMA load channel 2 columns per transfer",
+	"mvin2_stride": "DMA load channel 2 stride",
+	"mvout_rows":   "DMA store rows per transfer",
+	"mvout_cols":   "DMA store columns per transfer", "mvout_stride": "DMA store stride",
+}
+
+// CostParams tunes the systolic-array timing model.
+type CostParams struct {
+	// StartupCycles is the fixed launch latency (decode + DMA kickoff).
+	StartupCycles uint64
+	// DrainCycles is the pipeline drain per output tile row.
+	DrainCycles uint64
+}
+
+// DefaultCost returns the default timing model.
+func DefaultCost() CostParams {
+	return CostParams{StartupCycles: 80, DrainCycles: 16}
+}
+
+// Model is the simulated device state.
+type Model struct {
+	cost CostParams
+	// regs holds the raw (rs1, rs2) pair last written per funct7.
+	regs map[uint32][2]uint64
+	// Launches counts completed launches.
+	Launches uint64
+}
+
+// New returns a fresh Gemmini model with the given timing parameters.
+func New(cost CostParams) *Model {
+	return &Model{cost: cost, regs: map[uint32][2]uint64{}}
+}
+
+// Name implements accel.Device.
+func (m *Model) Name() string { return Name }
+
+// Scheme implements accel.Device: Gemmini configures sequentially.
+func (m *Model) Scheme() accel.Scheme { return accel.Sequential }
+
+// WriteConfig implements accel.Device.
+func (m *Model) WriteConfig(id uint32, lo, hi uint64) {
+	m.regs[id] = [2]uint64{lo, hi}
+}
+
+// ConfigBytes implements accel.Device: every RoCC instruction carries two
+// 64-bit source registers.
+func (m *Model) ConfigBytes(uint32) uint64 { return 16 }
+
+// IsLaunch implements accel.Device.
+func (m *Model) IsLaunch(id uint32) bool { return id == FnLoopWS }
+
+// IsFence implements accel.Device.
+func (m *Model) IsFence(id uint32) bool { return id == FnFence }
+
+// StatusID implements accel.Device: Gemmini has no polled status port; the
+// host uses the fence.
+func (m *Model) StatusID() (uint32, bool) { return 0, false }
+
+// field extracts a named field from the written registers per the Sequence
+// descriptor.
+func (m *Model) field(name string) uint64 {
+	for _, ci := range Sequence {
+		for _, s := range ci.Slots {
+			if s.Field != name {
+				continue
+			}
+			pair := m.regs[ci.Funct7]
+			v := pair[s.Reg] >> s.Offset
+			if s.Bits < 64 {
+				v &= (1 << s.Bits) - 1
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// Launch implements accel.Device: decodes the weight-stationary matmul
+// C = A*B (+ D) and executes it functionally over memory.
+//
+// Matrix layout: A is (16*I)x(16*K) int8, B is (16*K)x(16*J) int8, D (when
+// its address is nonzero) is (16*I)x(16*J) int32, C is (16*I)x(16*J) int8
+// after the activation, all with the configured row strides in bytes.
+func (m *Model) Launch(mm *mem.Memory) (accel.Launch, error) {
+	i := m.field("I")
+	j := m.field("J")
+	k := m.field("K")
+	if i == 0 || j == 0 || k == 0 {
+		return accel.Launch{}, accel.ErrBadConfig(Name, "zero loop bounds I=%d J=%d K=%d", i, j, k)
+	}
+	if m.field("A_transpose") != 0 || m.field("B_transpose") != 0 {
+		return accel.Launch{}, accel.ErrBadConfig(Name, "transposed operands not supported by this model")
+	}
+	a, b := m.field("A"), m.field("B")
+	d, c := m.field("D"), m.field("C")
+	strideA, strideB := m.field("stride_A"), m.field("stride_B")
+	strideD, strideC := m.field("stride_D"), m.field("stride_C")
+	act := m.field("act")
+	if a == 0 || b == 0 || c == 0 {
+		return accel.Launch{}, accel.ErrBadConfig(Name, "null matrix address A=%#x B=%#x C=%#x", a, b, c)
+	}
+
+	rows := int(i) * Dim
+	cols := int(j) * Dim
+	depth := int(k) * Dim
+	for r := 0; r < rows; r++ {
+		for cc := 0; cc < cols; cc++ {
+			acc := int32(0)
+			if d != 0 {
+				acc = int32(mm.Read32(d + uint64(r)*strideD + uint64(cc)*4))
+			}
+			for x := 0; x < depth; x++ {
+				av := int32(int8(mm.Read8(a + uint64(r)*strideA + uint64(x))))
+				bv := int32(int8(mm.Read8(b + uint64(x)*strideB + uint64(cc))))
+				acc += av * bv
+			}
+			mm.Write8(c+uint64(r)*strideC+uint64(cc), saturate(applyAct(acc, act)))
+		}
+	}
+
+	ops := 2 * uint64(rows) * uint64(cols) * uint64(depth)
+	cycles := m.cost.StartupCycles + i*j*k*Dim + i*j*m.cost.DrainCycles
+	m.Launches++
+	return accel.Launch{Ops: ops, Cycles: cycles}, nil
+}
+
+func applyAct(v int32, act uint64) int32 {
+	switch act {
+	case 1: // ReLU
+		if v < 0 {
+			return 0
+		}
+	}
+	return v
+}
+
+func saturate(v int32) uint8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return 0x80 // two's-complement -128
+	}
+	return uint8(int8(v))
+}
+
+// InstrFor returns the descriptor of the configuration instruction that
+// carries the named field, or ok=false.
+func InstrFor(field string) (ConfigInstr, bool) {
+	for _, ci := range Sequence {
+		for _, s := range ci.Slots {
+			if s.Field == field {
+				return ci, true
+			}
+		}
+	}
+	return ConfigInstr{}, false
+}
+
+// Table1 renders the paper's Table 1: field, meaning, bit width.
+func Table1() string {
+	out := fmt.Sprintf("%-14s %-55s %s\n", "Field", "Meaning", "Bits")
+	for _, fb := range FieldBits() {
+		out += fmt.Sprintf("%-14s %-55s %d\n", fb.Field, FieldMeanings[fb.Field], fb.Bits)
+	}
+	return out
+}

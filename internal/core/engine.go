@@ -1,0 +1,327 @@
+// Package core is the experiment engine: it assembles the paper's
+// compilation pipelines (Figure 8), compiles tiled-matmul workloads for a
+// target, runs them on the co-simulator, verifies results against the
+// golden CPU matmul, and extracts the measurements behind every figure of
+// the evaluation section.
+package core
+
+import (
+	"fmt"
+
+	"configwall/internal/accel"
+	"configwall/internal/accel/gemmini"
+	"configwall/internal/accel/opengemm"
+	"configwall/internal/codegen"
+	"configwall/internal/ir"
+	"configwall/internal/lower"
+	"configwall/internal/mem"
+	"configwall/internal/passes"
+	"configwall/internal/riscv"
+	"configwall/internal/roofline"
+	"configwall/internal/sim"
+	"configwall/internal/workload"
+)
+
+// Pipeline selects which of the paper's optimizations run (Figure 12
+// distinguishes exactly these four variants).
+type Pipeline int
+
+// Pipeline variants.
+const (
+	// Baseline models -O2 on volatile inline assembly: constants fold and
+	// common subexpressions merge, but configuration writes are all
+	// emitted, in order, and nothing moves across them.
+	Baseline Pipeline = iota
+	// DedupOnly adds state tracing + configuration deduplication (§5.4).
+	DedupOnly
+	// OverlapOnly adds state tracing + configuration-computation overlap
+	// (§5.5) without deduplication.
+	OverlapOnly
+	// AllOptimizations applies deduplication then overlap (the paper's
+	// full accfg pipeline).
+	AllOptimizations
+)
+
+func (p Pipeline) String() string {
+	switch p {
+	case DedupOnly:
+		return "dedup"
+	case OverlapOnly:
+		return "overlap"
+	case AllOptimizations:
+		return "all"
+	}
+	return "base"
+}
+
+// Pipelines lists all variants in presentation order.
+var Pipelines = []Pipeline{Baseline, DedupOnly, OverlapOnly, AllOptimizations}
+
+// Target bundles everything needed to compile for and simulate one
+// accelerator platform.
+type Target struct {
+	// Name is the accfg accelerator name.
+	Name string
+	// Concurrent marks concurrent-configuration hardware (enables
+	// overlap).
+	Concurrent bool
+	// PeakOps is the accelerator's peak performance in ops/cycle.
+	PeakOps float64
+	// NewDevice builds a fresh simulated device.
+	NewDevice func() accel.Device
+	// Cost is the host cycle model.
+	Cost riscv.CostModel
+	// Lowering builds the accfg-to-target lowering pass.
+	Lowering func() ir.Pass
+	// BuildMatmul builds the tiled matmul workload for size n.
+	BuildMatmul func(n int) (*ir.Module, error)
+	// OutputBytes is the size of one C element (1 for int8, 4 for int32).
+	OutputBytes int
+}
+
+// GemminiTarget returns the Gemmini-style platform: sequential
+// configuration, 512 ops/cycle, Rocket-class host at 3 cycles/instruction
+// (paper §4.6, §6.1).
+func GemminiTarget() Target {
+	return Target{
+		Name:        gemmini.Name,
+		Concurrent:  false,
+		PeakOps:     gemmini.PeakOpsPerCycle,
+		NewDevice:   func() accel.Device { return gemmini.New(gemmini.DefaultCost()) },
+		Cost:        riscv.RocketCost(),
+		Lowering:    lower.AccfgToGemmini,
+		BuildMatmul: workload.GemminiTiledMatmul,
+		OutputBytes: 1,
+	}
+}
+
+// OpenGeMMTarget returns the OpenGeMM-style platform: concurrent
+// configuration, 1024 ops/cycle, tiny in-order host (paper §6.2).
+func OpenGeMMTarget() Target {
+	return Target{
+		Name:        opengemm.Name,
+		Concurrent:  true,
+		PeakOps:     opengemm.PeakOpsPerCycle,
+		NewDevice:   func() accel.Device { return opengemm.New(opengemm.DefaultCost()) },
+		Cost:        riscv.SnitchCost(),
+		Lowering:    lower.AccfgToOpenGeMM,
+		BuildMatmul: workload.OpenGeMMTiledMatmul,
+		OutputBytes: 4,
+	}
+}
+
+// PassPipeline assembles the pass sequence for a pipeline variant on a
+// target (paper Figure 8: shared accfg passes between target-specific
+// conversions).
+func (t Target) PassPipeline(p Pipeline) *ir.PassManager {
+	concurrent := func(accelName string) bool {
+		return t.Concurrent && accelName == t.Name
+	}
+	pm := ir.NewPassManager()
+	if p == Baseline {
+		// The volatile-asm baseline still merges repeated pure
+		// subexpressions (-O2 CSE works on asm *operands*), but gets no
+		// folding, motion or loop simplification around the volatile
+		// statements — the paper's premise that volatile inline assembly
+		// "fully prevents the compiler to optimize any accelerator
+		// configuration code" (§3.1).
+		pm.Add(passes.CSE())
+	} else {
+		pm.Add(passes.Canonicalize(), passes.CSE())
+	}
+	if p != Baseline {
+		// Volatile inline asm blocks loop simplification and
+		// loop-invariant code motion (memory clobbers); the accfg flow is
+		// free to unroll trivial loops and hoist.
+		pm.Add(passes.SimplifyTrivialLoops())
+		pm.Add(passes.Canonicalize(), passes.CSE())
+		pm.Add(passes.LICM())
+		pm.Add(passes.TraceStates())
+	}
+	if p == DedupOnly || p == AllOptimizations {
+		pm.Add(
+			passes.SinkSetupsIntoBranches(),
+			passes.HoistLoopInvariantFields(),
+			passes.Dedup(),
+			passes.MergeSetups(),
+			passes.RemoveEmptySetups(),
+		)
+	}
+	if p == OverlapOnly || p == AllOptimizations {
+		pm.Add(passes.Overlap(concurrent))
+	}
+	if p != Baseline {
+		pm.Add(passes.Canonicalize(), passes.CSE())
+	}
+	// Target conversion (Figure 8, step 5), then post-lowering cleanups of
+	// the emitted packing arithmetic (accfg flows only — the baseline
+	// emits the packing verbatim, like Listing 1's macro expansion).
+	pm.Add(t.Lowering())
+	if p != Baseline {
+		pm.Add(passes.LICM())
+		pm.Add(passes.Canonicalize(), passes.CSE())
+	}
+	return pm
+}
+
+// Result captures one experiment run.
+type Result struct {
+	Target   string
+	Pipeline Pipeline
+	N        int
+	sim.Counters
+	// Verified confirms the simulated output matched the golden matmul.
+	Verified bool
+	// ProgramInstrs is the static size of the compiled program.
+	ProgramInstrs int
+	// PassStats carries the per-pass op-count log.
+	PassStats []string
+	// Trace holds the timeline when requested.
+	Trace []sim.Segment
+	// PeakOps echoes the target's peak for convenience.
+	PeakOps float64
+}
+
+// AttainableEq3 applies the paper's Figure 10 methodology: plug the
+// measured effective configuration bandwidth and operation-to-configuration
+// intensity into the sequential roofline (Eq. 3) as a proxy for attainable
+// performance.
+func (r Result) AttainableEq3() float64 {
+	return roofline.Sequential(r.PeakOps, r.EffectiveConfigBW(), r.MeasuredIOC())
+}
+
+// Utilization returns measured ops/cycle as a fraction of peak.
+func (r Result) Utilization() float64 {
+	return r.OpsPerCycle() / r.PeakOps
+}
+
+// RunOptions tweaks experiment execution.
+type RunOptions struct {
+	// RecordTrace captures the activity timeline (costs memory).
+	RecordTrace bool
+	// SkipVerify skips the golden-model comparison (for benchmarks).
+	SkipVerify bool
+}
+
+const (
+	memorySize = 64 << 20
+	bufferBase = 1 << 20
+	stackBase  = 60 << 20
+)
+
+// RunTiledMatmul compiles the n x n tiled matmul for the target under the
+// given pipeline, simulates it, verifies the result, and returns the
+// measurements.
+func RunTiledMatmul(t Target, p Pipeline, n int, opts RunOptions) (Result, error) {
+	res := Result{Target: t.Name, Pipeline: p, N: n, PeakOps: t.PeakOps}
+
+	m, err := t.BuildMatmul(n)
+	if err != nil {
+		return res, err
+	}
+	pm := t.PassPipeline(p)
+	if err := pm.Run(m); err != nil {
+		return res, fmt.Errorf("pipeline %s on %s/%d: %w", p, t.Name, n, err)
+	}
+	res.PassStats = pm.Stats
+
+	// Place A, B, C contiguously from bufferBase; static allocs after.
+	aBase := uint64(bufferBase)
+	bBase := aBase + uint64(n*n)
+	cBase := bBase + uint64(n*n)
+	staticBase := cBase + uint64(n*n*t.OutputBytes)
+
+	prog, _, err := codegen.Compile(m, "main", codegen.Options{StaticBase: staticBase})
+	if err != nil {
+		return res, fmt.Errorf("codegen for %s/%d: %w", t.Name, n, err)
+	}
+	res.ProgramInstrs = len(prog.Instrs)
+
+	memory := mem.New(memorySize)
+	a := make([]int8, n*n)
+	b := make([]int8, n*n)
+	workload.FillMatrix(a, n, 1)
+	workload.FillMatrix(b, n, 2)
+	for i, v := range a {
+		memory.Write8(aBase+uint64(i), uint8(v))
+	}
+	for i, v := range b {
+		memory.Write8(bBase+uint64(i), uint8(v))
+	}
+	memory.ResetCounters()
+
+	mc := sim.NewMachine(memory, t.Cost, t.NewDevice())
+	mc.RecordTrace = opts.RecordTrace
+	mc.Regs[riscv.A0] = int64(aBase)
+	mc.Regs[riscv.A0+1] = int64(bBase)
+	mc.Regs[riscv.A0+2] = int64(cBase)
+	mc.Regs[riscv.SP] = stackBase
+	if err := mc.Run(prog); err != nil {
+		return res, fmt.Errorf("simulation of %s/%s/%d: %w", t.Name, p, n, err)
+	}
+	res.Counters = mc.Counters
+	res.Trace = mc.Trace
+
+	if !opts.SkipVerify {
+		golden := workload.MatmulInt8(a, b, n)
+		ok, err := verifyOutput(memory, cBase, golden, n, t.OutputBytes)
+		if err != nil {
+			return res, err
+		}
+		res.Verified = ok
+		if !ok {
+			return res, fmt.Errorf("verification failed: %s/%s/%d output does not match golden matmul", t.Name, p, n)
+		}
+	}
+	return res, nil
+}
+
+func verifyOutput(memory *mem.Memory, cBase uint64, golden []int32, n, outBytes int) (bool, error) {
+	for i, want := range golden {
+		switch outBytes {
+		case 1:
+			got := int8(memory.Read8(cBase + uint64(i)))
+			if got != workload.SaturateInt8(want) {
+				return false, fmt.Errorf("C[%d] = %d, want %d (saturated from %d)", i, got, workload.SaturateInt8(want), want)
+			}
+		case 4:
+			got := int32(memory.Read32(cBase + uint64(4*i)))
+			if got != want {
+				return false, fmt.Errorf("C[%d] = %d, want %d", i, got, want)
+			}
+		default:
+			return false, fmt.Errorf("unsupported output width %d", outBytes)
+		}
+	}
+	return true, nil
+}
+
+// RooflineModel derives the target's analytical roofline model, computing
+// the raw configuration bandwidth from the host cost model and the
+// interface width the way the paper does for Gemmini (§4.6: 16 bytes per
+// RoCC custom instruction, issued by a 3-cycles/instruction host with two
+// register-setup instructions per custom op).
+func (t Target) RooflineModel() roofline.Model {
+	var bw float64
+	switch t.Name {
+	case gemmini.Name:
+		// 16 bytes per RoCC instruction; ~3 instructions (2 register
+		// loads + 1 custom) at the host CPI.
+		perInstr := float64(t.Cost.Cycles(riscv.Instr{Op: riscv.CUSTOM}))
+		bw = 16.0 / (3 * perInstr)
+	case opengemm.Name:
+		// 4 bytes per CSR write; ~2 instructions (1 value setup + 1
+		// csrw).
+		perInstr := float64(t.Cost.Cycles(riscv.Instr{Op: riscv.CSRRW}))
+		bw = 4.0 / (2 * perInstr)
+	default:
+		bw = 1
+	}
+	return roofline.Model{
+		Name:             t.Name,
+		PeakOps:          t.PeakOps,
+		BWConfig:         bw,
+		BWMemory:         64, // wide tightly-coupled scratchpad port
+		ConcurrentConfig: t.Concurrent,
+	}
+}

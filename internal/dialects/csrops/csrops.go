@@ -1,0 +1,67 @@
+// Package csrops is the OpenGeMM-style target dialect: 32-bit CSR accesses
+// to a memory-less configuration port, as lowered from accfg (paper
+// Figure 8, step 5). Like rocc, these ops are impure and pin their order.
+package csrops
+
+import (
+	"fmt"
+
+	"configwall/internal/ir"
+)
+
+// Op names.
+const (
+	// OpWrite writes one 32-bit CSR (4 configuration bytes).
+	OpWrite = "csr.write"
+	// OpBarrier polls a status CSR until the accelerator reports idle.
+	OpBarrier = "csr.barrier"
+)
+
+func init() {
+	ir.Register(ir.OpInfo{
+		Name:    OpWrite,
+		Summary: "CSR configuration write (4 configuration bytes)",
+		Verify: func(op *ir.Op) error {
+			if op.NumOperands() != 1 || op.NumResults() != 0 {
+				return fmt.Errorf("expects one value operand and no results")
+			}
+			if _, ok := op.Attr("addr").(ir.IntegerAttr); !ok {
+				return fmt.Errorf("missing 'addr' attribute")
+			}
+			return nil
+		},
+	})
+	ir.Register(ir.OpInfo{
+		Name:    OpBarrier,
+		Summary: "poll a status CSR until idle",
+		Verify: func(op *ir.Op) error {
+			if op.NumOperands() != 0 || op.NumResults() != 0 {
+				return fmt.Errorf("expects no operands or results")
+			}
+			if _, ok := op.Attr("addr").(ir.IntegerAttr); !ok {
+				return fmt.Errorf("missing 'addr' attribute")
+			}
+			return nil
+		},
+	})
+}
+
+// NewWrite builds a csr.write of value to addr.
+func NewWrite(b *ir.Builder, addr uint32, value *ir.Value) *ir.Op {
+	op := b.Create(OpWrite, []*ir.Value{value}, nil)
+	op.SetAttr("addr", ir.IntAttr(int64(addr)))
+	return op
+}
+
+// NewBarrier builds a csr.barrier polling addr.
+func NewBarrier(b *ir.Builder, addr uint32) *ir.Op {
+	op := b.Create(OpBarrier, nil, nil)
+	op.SetAttr("addr", ir.IntAttr(int64(addr)))
+	return op
+}
+
+// Addr returns the CSR address of a csr op.
+func Addr(op *ir.Op) uint32 {
+	v, _ := op.IntAttrValue("addr")
+	return uint32(v)
+}

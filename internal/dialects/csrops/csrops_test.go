@@ -1,0 +1,44 @@
+package csrops_test
+
+import (
+	"testing"
+
+	"configwall/internal/dialects/arith"
+	"configwall/internal/dialects/csrops"
+	"configwall/internal/dialects/fnc"
+	"configwall/internal/ir"
+)
+
+func TestWriteAndBarrier(t *testing.T) {
+	m := ir.NewModule()
+	f := fnc.NewFunc("f", ir.FuncType(nil, nil))
+	m.Append(f.Op)
+	b := ir.AtEnd(f.Body())
+	c := arith.NewConstant(b, 9, ir.I64)
+	w := csrops.NewWrite(b, 0x3c0, c)
+	bar := csrops.NewBarrier(b, 0x3cc)
+	fnc.NewReturn(b)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if csrops.Addr(w) != 0x3c0 || csrops.Addr(bar) != 0x3cc {
+		t.Error("addr accessors wrong")
+	}
+	ir.ApplyPatternsGreedy(m.Op(), nil)
+	if ir.CountOpsNamed(m, csrops.OpWrite) != 1 || ir.CountOpsNamed(m, csrops.OpBarrier) != 1 {
+		t.Error("DCE removed an impure csr op")
+	}
+}
+
+func TestVerifiers(t *testing.T) {
+	m := ir.NewModule()
+	f := fnc.NewFunc("f", ir.FuncType(nil, nil))
+	m.Append(f.Op)
+	b := ir.AtEnd(f.Body())
+	bad := ir.NewOp(csrops.OpWrite, nil, nil) // missing operand and addr
+	b.Insert(bad)
+	fnc.NewReturn(b)
+	if err := ir.Verify(m); err == nil {
+		t.Error("verifier accepted malformed csr.write")
+	}
+}

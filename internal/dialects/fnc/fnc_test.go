@@ -1,0 +1,88 @@
+package fnc_test
+
+import (
+	"testing"
+
+	"configwall/internal/dialects/fnc"
+	"configwall/internal/ir"
+)
+
+func TestNewFuncShape(t *testing.T) {
+	ft := ir.FuncType([]ir.Type{ir.I64, ir.I32}, []ir.Type{ir.I64})
+	f := fnc.NewFunc("compute", ft)
+	if f.Name() != "compute" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if !f.Type().Equal(ft) {
+		t.Errorf("Type = %s", f.Type())
+	}
+	if f.Body().NumArgs() != 2 {
+		t.Errorf("entry args = %d, want 2", f.Body().NumArgs())
+	}
+	if !ir.TypesEqual(f.Body().Arg(1).Type(), ir.I32) {
+		t.Errorf("arg 1 type = %s", f.Body().Arg(1).Type())
+	}
+}
+
+func TestFuncVerifierErrors(t *testing.T) {
+	t.Run("missing name", func(t *testing.T) {
+		m := ir.NewModule()
+		op := ir.NewOp(fnc.OpFunc, nil, nil)
+		op.SetAttr("function_type", ir.TypeAttr{Type: ir.FuncType(nil, nil)})
+		op.AddRegion()
+		m.Append(op)
+		b := ir.AtEnd(op.Region(0).Block())
+		fnc.NewReturn(b)
+		if err := ir.Verify(m); err == nil {
+			t.Error("verifier accepted func without sym_name")
+		}
+	})
+	t.Run("arg count mismatch", func(t *testing.T) {
+		m := ir.NewModule()
+		f := fnc.NewFunc("f", ir.FuncType([]ir.Type{ir.I64}, nil))
+		f.Body().EraseArg(0)
+		m.Append(f.Op)
+		fnc.NewReturn(ir.AtEnd(f.Body()))
+		if err := ir.Verify(m); err == nil {
+			t.Error("verifier accepted signature/arg mismatch")
+		}
+	})
+}
+
+func TestIsolatedFromAbove(t *testing.T) {
+	// A function body must not reference values defined in the module
+	// scope of another function (isolation trait).
+	m := ir.NewModule()
+	f1 := fnc.NewFunc("a", ir.FuncType(nil, nil))
+	m.Append(f1.Op)
+	b1 := ir.AtEnd(f1.Body())
+	c := b1.Create("arith.constant", nil, []ir.Type{ir.I64})
+	c.SetAttr("value", ir.IntAttr(1))
+	fnc.NewReturn(b1)
+
+	f2 := fnc.NewFunc("b", ir.FuncType(nil, nil))
+	m.Append(f2.Op)
+	b2 := ir.AtEnd(f2.Body())
+	leak := ir.NewOp("test.use", []*ir.Value{c.Result(0)}, nil)
+	b2.Insert(leak)
+	fnc.NewReturn(b2)
+
+	if err := ir.Verify(m); err == nil {
+		t.Error("verifier accepted cross-function value reference")
+	}
+}
+
+func TestCallBuilder(t *testing.T) {
+	m := ir.NewModule()
+	f := fnc.NewFunc("caller", ir.FuncType(nil, nil))
+	m.Append(f.Op)
+	b := ir.AtEnd(f.Body())
+	call := fnc.NewCall(b, "callee", nil, []ir.Type{ir.I64})
+	if sym, ok := call.Attr("callee").(ir.SymbolRefAttr); !ok || sym.Symbol != "callee" {
+		t.Error("callee symbol wrong")
+	}
+	fnc.NewReturn(b)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}

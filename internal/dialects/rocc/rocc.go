@@ -1,0 +1,71 @@
+// Package rocc is the Gemmini-style target dialect: RoCC custom
+// instructions carrying two 64-bit payload registers, as lowered from accfg
+// (paper Figure 8, step 5). Ops in this dialect map 1:1 to host
+// instructions; they are impure and never reordered or removed by generic
+// passes, mirroring the "always emitted, in order" property of volatile
+// inline assembly that the baseline relies on.
+package rocc
+
+import (
+	"fmt"
+
+	"configwall/internal/ir"
+)
+
+// Op names.
+const (
+	// OpWrite is one RoCC custom instruction: funct7 selects the target
+	// configuration register pair, the two operands carry 16 bytes.
+	OpWrite = "rocc.write"
+	// OpFence blocks the host until the accelerator is idle.
+	OpFence = "rocc.fence"
+)
+
+func init() {
+	ir.Register(ir.OpInfo{
+		Name:    OpWrite,
+		Summary: "RoCC custom instruction write (16 configuration bytes)",
+		Verify: func(op *ir.Op) error {
+			if op.NumOperands() != 2 || op.NumResults() != 0 {
+				return fmt.Errorf("expects rs1, rs2 operands and no results")
+			}
+			if _, ok := op.Attr("funct7").(ir.IntegerAttr); !ok {
+				return fmt.Errorf("missing 'funct7' attribute")
+			}
+			return nil
+		},
+	})
+	ir.Register(ir.OpInfo{
+		Name:    OpFence,
+		Summary: "block until the accelerator is idle",
+		Verify: func(op *ir.Op) error {
+			if op.NumOperands() != 0 || op.NumResults() != 0 {
+				return fmt.Errorf("expects no operands or results")
+			}
+			if _, ok := op.Attr("funct7").(ir.IntegerAttr); !ok {
+				return fmt.Errorf("missing 'funct7' attribute")
+			}
+			return nil
+		},
+	})
+}
+
+// NewWrite builds a rocc.write of (rs1, rs2) to funct7.
+func NewWrite(b *ir.Builder, funct7 uint32, rs1, rs2 *ir.Value) *ir.Op {
+	op := b.Create(OpWrite, []*ir.Value{rs1, rs2}, nil)
+	op.SetAttr("funct7", ir.IntAttr(int64(funct7)))
+	return op
+}
+
+// NewFence builds a rocc.fence with the given funct7.
+func NewFence(b *ir.Builder, funct7 uint32) *ir.Op {
+	op := b.Create(OpFence, nil, nil)
+	op.SetAttr("funct7", ir.IntAttr(int64(funct7)))
+	return op
+}
+
+// Funct7 returns the funct7 selector of a rocc op.
+func Funct7(op *ir.Op) uint32 {
+	v, _ := op.IntAttrValue("funct7")
+	return uint32(v)
+}

@@ -1,0 +1,142 @@
+package scf_test
+
+import (
+	"testing"
+
+	"configwall/internal/dialects/arith"
+	"configwall/internal/dialects/fnc"
+	"configwall/internal/dialects/scf"
+	"configwall/internal/ir"
+)
+
+func setup(t testing.TB) (*ir.Module, *ir.Builder) {
+	t.Helper()
+	m := ir.NewModule()
+	f := fnc.NewFunc("f", ir.FuncType(nil, nil))
+	m.Append(f.Op)
+	return m, ir.AtEnd(f.Body())
+}
+
+func TestForAccessors(t *testing.T) {
+	m, b := setup(t)
+	lb := arith.NewConstant(b, 0, ir.Index)
+	ub := arith.NewConstant(b, 8, ir.Index)
+	step := arith.NewConstant(b, 2, ir.Index)
+	init := arith.NewConstant(b, 5, ir.I64)
+	loop := scf.NewFor(b, lb, ub, step, init)
+	lbld := ir.AtEnd(loop.Body())
+	scf.NewYield(lbld, loop.IterArg(0))
+	fnc.NewReturn(b)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+
+	if loop.LowerBound() != lb || loop.UpperBound() != ub || loop.Step() != step {
+		t.Error("bound accessors wrong")
+	}
+	if loop.NumIterArgs() != 1 || loop.InitArg(0) != init {
+		t.Error("iter arg accessors wrong")
+	}
+	if loop.InductionVar() != loop.Body().Arg(0) {
+		t.Error("induction var accessor wrong")
+	}
+	if loop.Yield() == nil || loop.Yield().Name() != scf.OpYield {
+		t.Error("yield accessor wrong")
+	}
+	if _, ok := scf.AsFor(loop.Op); !ok {
+		t.Error("AsFor rejects a for")
+	}
+	if _, ok := scf.AsFor(init.DefiningOp()); ok {
+		t.Error("AsFor accepts a constant")
+	}
+}
+
+func TestAddIterArg(t *testing.T) {
+	m, b := setup(t)
+	lb := arith.NewConstant(b, 0, ir.Index)
+	ub := arith.NewConstant(b, 8, ir.Index)
+	step := arith.NewConstant(b, 1, ir.Index)
+	loop := scf.NewFor(b, lb, ub, step)
+	lbld := ir.AtEnd(loop.Body())
+	scf.NewYield(lbld)
+	fnc.NewReturn(b)
+
+	init := arith.NewConstant(ir.Before(loop.Op), 3, ir.I64)
+	arg, res := loop.AddIterArg(init, init)
+	if !arg.IsBlockArg() || arg.OwnerBlock() != loop.Body() {
+		t.Error("new iter arg not a body block argument")
+	}
+	if res.DefiningOp() != loop.Op {
+		t.Error("new result not attached to the loop")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("loop invalid after AddIterArg: %v", err)
+	}
+}
+
+func TestIfAccessors(t *testing.T) {
+	m, b := setup(t)
+	cond := arith.NewConstant(b, 1, ir.I1)
+	ifOp := scf.NewIf(b, cond, ir.I64)
+	tb := ir.AtEnd(ifOp.Then())
+	scf.NewYield(tb, arith.NewConstant(tb, 1, ir.I64))
+	eb := ir.AtEnd(ifOp.Else())
+	scf.NewYield(eb, arith.NewConstant(eb, 2, ir.I64))
+	fnc.NewReturn(b)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if ifOp.Condition() != cond {
+		t.Error("condition accessor wrong")
+	}
+	if ifOp.Then() == ifOp.Else() {
+		t.Error("then/else must differ")
+	}
+}
+
+func TestForVerifierErrors(t *testing.T) {
+	t.Run("iter count mismatch", func(t *testing.T) {
+		m, b := setup(t)
+		lb := arith.NewConstant(b, 0, ir.Index)
+		init := arith.NewConstant(b, 0, ir.I64)
+		loop := scf.NewFor(b, lb, lb, lb, init)
+		lbld := ir.AtEnd(loop.Body())
+		scf.NewYield(lbld) // yields nothing, loop carries one value
+		fnc.NewReturn(b)
+		if err := ir.Verify(m); err == nil {
+			t.Error("verifier accepted yield/iter-arg count mismatch")
+		}
+	})
+	t.Run("iter type mismatch", func(t *testing.T) {
+		m, b := setup(t)
+		lb := arith.NewConstant(b, 0, ir.Index)
+		init := arith.NewConstant(b, 0, ir.I64)
+		loop := scf.NewFor(b, lb, lb, lb, init)
+		// Corrupt the body arg type by adding a fresh one of wrong type.
+		body := loop.Body()
+		body.EraseArg(1)
+		body.AddArg(ir.I32)
+		lbld := ir.AtEnd(body)
+		scf.NewYield(lbld, loop.InitArg(0))
+		fnc.NewReturn(b)
+		if err := ir.Verify(m); err == nil {
+			t.Error("verifier accepted iter arg type mismatch")
+		}
+	})
+	t.Run("if condition type", func(t *testing.T) {
+		m, b := setup(t)
+		notBool := arith.NewConstant(b, 1, ir.I64)
+		op := ir.NewOp(scf.OpIf, []*ir.Value{notBool}, nil)
+		op.AddRegion()
+		op.AddRegion()
+		b.Insert(op)
+		tb := ir.AtEnd(op.Region(0).Block())
+		scf.NewYield(tb)
+		eb := ir.AtEnd(op.Region(1).Block())
+		scf.NewYield(eb)
+		fnc.NewReturn(b)
+		if err := ir.Verify(m); err == nil {
+			t.Error("verifier accepted non-i1 if condition")
+		}
+	})
+}

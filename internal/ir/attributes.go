@@ -1,0 +1,155 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attribute is compile-time metadata attached to operations. Attributes are
+// immutable; they render into the textual IR inside the {...} dictionary.
+type Attribute interface {
+	// String renders the attribute value in textual IR syntax.
+	String() string
+}
+
+// IntegerAttr holds a constant integer with an associated type.
+type IntegerAttr struct {
+	Value int64
+	Type  Type
+}
+
+// IntAttr builds an IntegerAttr of type i64.
+func IntAttr(v int64) IntegerAttr { return IntegerAttr{Value: v, Type: I64} }
+
+// IndexAttr builds an IntegerAttr of type index.
+func IndexAttr(v int64) IntegerAttr { return IntegerAttr{Value: v, Type: Index} }
+
+func (a IntegerAttr) String() string {
+	return fmt.Sprintf("%d : %s", a.Value, a.Type)
+}
+
+// StringAttr holds a string constant.
+type StringAttr struct {
+	Value string
+}
+
+func (a StringAttr) String() string { return fmt.Sprintf("%q", a.Value) }
+
+// BoolAttr holds a boolean constant.
+type BoolAttr struct {
+	Value bool
+}
+
+func (a BoolAttr) String() string {
+	if a.Value {
+		return "true"
+	}
+	return "false"
+}
+
+// UnitAttr is a presence-only marker (e.g. {volatile}).
+type UnitAttr struct{}
+
+func (UnitAttr) String() string { return "unit" }
+
+// TypeAttr wraps a Type as an attribute (used for function signatures).
+type TypeAttr struct {
+	Type Type
+}
+
+func (a TypeAttr) String() string { return a.Type.String() }
+
+// SymbolRefAttr names another symbol (function) in the module.
+type SymbolRefAttr struct {
+	Symbol string
+}
+
+func (a SymbolRefAttr) String() string { return "@" + a.Symbol }
+
+// ArrayAttr is an ordered list of attributes.
+type ArrayAttr struct {
+	Elems []Attribute
+}
+
+func (a ArrayAttr) String() string {
+	parts := make([]string, len(a.Elems))
+	for i, e := range a.Elems {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// StringsAttr builds an ArrayAttr of StringAttrs, a common shape for the
+// accfg field-name lists.
+func StringsAttr(names ...string) ArrayAttr {
+	elems := make([]Attribute, len(names))
+	for i, n := range names {
+		elems[i] = StringAttr{n}
+	}
+	return ArrayAttr{Elems: elems}
+}
+
+// StringList extracts the string values from an ArrayAttr of StringAttrs.
+// Non-string elements are skipped.
+func (a ArrayAttr) StringList() []string {
+	out := make([]string, 0, len(a.Elems))
+	for _, e := range a.Elems {
+		if s, ok := e.(StringAttr); ok {
+			out = append(out, s.Value)
+		}
+	}
+	return out
+}
+
+// EffectsKind enumerates the accfg effect annotations for foreign ops
+// (paper §5.1): whether an op clobbers or preserves accelerator state.
+type EffectsKind int
+
+const (
+	// EffectsAll marks an op as clobbering all accelerator state.
+	EffectsAll EffectsKind = iota
+	// EffectsNone marks an op as preserving all accelerator state.
+	EffectsNone
+)
+
+// EffectsAttr is the #accfg.effects<all|none> annotation.
+type EffectsAttr struct {
+	Kind EffectsKind
+}
+
+func (a EffectsAttr) String() string {
+	if a.Kind == EffectsNone {
+		return "#accfg.effects<none>"
+	}
+	return "#accfg.effects<all>"
+}
+
+// AttrsEqual reports whether two attributes are structurally identical.
+func AttrsEqual(a, b Attribute) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.String() == b.String()
+}
+
+// attrDictString renders a sorted attribute dictionary.
+func attrDictString(attrs map[string]Attribute) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		if _, ok := attrs[k].(UnitAttr); ok {
+			parts[i] = k
+			continue
+		}
+		parts[i] = fmt.Sprintf("%s = %s", k, attrs[k].String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,103 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pass transforms a module. Passes are the unit of composition in the
+// compilation pipelines (paper Figure 8).
+type Pass interface {
+	// Name returns the pass's pipeline name (e.g. "accfg-dedup").
+	Name() string
+	// Run applies the pass to the module.
+	Run(m *Module) error
+}
+
+// PassFunc adapts a function to the Pass interface.
+type PassFunc struct {
+	PassName string
+	Fn       func(m *Module) error
+}
+
+// Name returns the pass name.
+func (p PassFunc) Name() string { return p.PassName }
+
+// Run invokes the wrapped function.
+func (p PassFunc) Run(m *Module) error { return p.Fn(m) }
+
+// PassManager runs a sequence of passes, optionally verifying the IR between
+// passes and recording per-pass statistics.
+type PassManager struct {
+	passes []Pass
+	// VerifyEach enables IR verification after every pass (on by default in
+	// NewPassManager).
+	VerifyEach bool
+	// Stats accumulates a human-readable log line per executed pass.
+	Stats []string
+}
+
+// NewPassManager returns a PassManager with per-pass verification enabled.
+func NewPassManager(passes ...Pass) *PassManager {
+	return &PassManager{passes: passes, VerifyEach: true}
+}
+
+// Add appends passes to the pipeline.
+func (pm *PassManager) Add(passes ...Pass) *PassManager {
+	pm.passes = append(pm.passes, passes...)
+	return pm
+}
+
+// Passes returns the pipeline's pass names in order.
+func (pm *PassManager) Passes() []string {
+	names := make([]string, len(pm.passes))
+	for i, p := range pm.passes {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// Run executes the pipeline on m.
+func (pm *PassManager) Run(m *Module) error {
+	for _, p := range pm.passes {
+		before := CountOps(m)
+		if err := p.Run(m); err != nil {
+			return fmt.Errorf("pass %s: %w", p.Name(), err)
+		}
+		if pm.VerifyEach {
+			if err := Verify(m); err != nil {
+				return fmt.Errorf("verifier failed after pass %s: %w", p.Name(), err)
+			}
+		}
+		after := CountOps(m)
+		pm.Stats = append(pm.Stats, fmt.Sprintf("%-32s ops: %4d -> %4d", p.Name(), before, after))
+	}
+	return nil
+}
+
+// String renders the pipeline like "a,b,c".
+func (pm *PassManager) String() string {
+	return strings.Join(pm.Passes(), ",")
+}
+
+// CountOps counts all ops in the module (excluding builtin.module itself).
+func CountOps(m *Module) int {
+	n := 0
+	m.Walk(func(op *Op) {
+		if op.Name() != "builtin.module" {
+			n++
+		}
+	})
+	return n
+}
+
+// CountOpsNamed counts ops with the given name in the module.
+func CountOpsNamed(m *Module, name string) int {
+	n := 0
+	m.Walk(func(op *Op) {
+		if op.Name() == name {
+			n++
+		}
+	})
+	return n
+}

@@ -1,0 +1,125 @@
+// Package mem provides the byte-addressable simulated main memory shared by
+// the host CPU and the accelerator models. All accesses are little-endian.
+// Traffic counters feed the memory axis of the combined roofline (paper
+// Eq. 5).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Memory is a flat little-endian byte-addressable memory.
+type Memory struct {
+	data []byte
+
+	// BytesRead and BytesWritten count all traffic, host and accelerator.
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// New allocates a memory of the given size in bytes.
+func New(size int) *Memory {
+	return &Memory{data: make([]byte, size)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// ResetCounters zeroes the traffic counters.
+func (m *Memory) ResetCounters() {
+	m.BytesRead, m.BytesWritten = 0, 0
+}
+
+func (m *Memory) check(addr uint64, n int) {
+	if addr+uint64(n) > uint64(len(m.data)) {
+		panic(fmt.Sprintf("mem: access [%#x, %#x) out of bounds (size %#x)", addr, addr+uint64(n), len(m.data)))
+	}
+}
+
+// Read8 loads one byte.
+func (m *Memory) Read8(addr uint64) uint8 {
+	m.check(addr, 1)
+	m.BytesRead++
+	return m.data[addr]
+}
+
+// Write8 stores one byte.
+func (m *Memory) Write8(addr uint64, v uint8) {
+	m.check(addr, 1)
+	m.BytesWritten++
+	m.data[addr] = v
+}
+
+// Read16 loads a little-endian 16-bit value.
+func (m *Memory) Read16(addr uint64) uint16 {
+	m.check(addr, 2)
+	m.BytesRead += 2
+	return binary.LittleEndian.Uint16(m.data[addr:])
+}
+
+// Write16 stores a little-endian 16-bit value.
+func (m *Memory) Write16(addr uint64, v uint16) {
+	m.check(addr, 2)
+	m.BytesWritten += 2
+	binary.LittleEndian.PutUint16(m.data[addr:], v)
+}
+
+// Read32 loads a little-endian 32-bit value.
+func (m *Memory) Read32(addr uint64) uint32 {
+	m.check(addr, 4)
+	m.BytesRead += 4
+	return binary.LittleEndian.Uint32(m.data[addr:])
+}
+
+// Write32 stores a little-endian 32-bit value.
+func (m *Memory) Write32(addr uint64, v uint32) {
+	m.check(addr, 4)
+	m.BytesWritten += 4
+	binary.LittleEndian.PutUint32(m.data[addr:], v)
+}
+
+// Read64 loads a little-endian 64-bit value.
+func (m *Memory) Read64(addr uint64) uint64 {
+	m.check(addr, 8)
+	m.BytesRead += 8
+	return binary.LittleEndian.Uint64(m.data[addr:])
+}
+
+// Write64 stores a little-endian 64-bit value.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	m.check(addr, 8)
+	m.BytesWritten += 8
+	binary.LittleEndian.PutUint64(m.data[addr:], v)
+}
+
+// ReadSigned loads a sign-extended value of width bits (8, 16, 32 or 64).
+func (m *Memory) ReadSigned(addr uint64, width int) int64 {
+	switch width {
+	case 8:
+		return int64(int8(m.Read8(addr)))
+	case 16:
+		return int64(int16(m.Read16(addr)))
+	case 32:
+		return int64(int32(m.Read32(addr)))
+	case 64:
+		return int64(m.Read64(addr))
+	}
+	panic(fmt.Sprintf("mem: unsupported width %d", width))
+}
+
+// WriteSigned stores the low width bits of v (8, 16, 32 or 64).
+func (m *Memory) WriteSigned(addr uint64, width int, v int64) {
+	switch width {
+	case 8:
+		m.Write8(addr, uint8(v))
+	case 16:
+		m.Write16(addr, uint16(v))
+	case 32:
+		m.Write32(addr, uint32(v))
+	case 64:
+		m.Write64(addr, uint64(v))
+	default:
+		panic(fmt.Sprintf("mem: unsupported width %d", width))
+	}
+}

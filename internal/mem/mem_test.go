@@ -1,0 +1,87 @@
+package mem_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"configwall/internal/mem"
+)
+
+func TestRoundTripWidths(t *testing.T) {
+	m := mem.New(1 << 12)
+	m.Write8(0x10, 0xab)
+	if got := m.Read8(0x10); got != 0xab {
+		t.Errorf("Read8 = %#x, want 0xab", got)
+	}
+	m.Write16(0x20, 0xbeef)
+	if got := m.Read16(0x20); got != 0xbeef {
+		t.Errorf("Read16 = %#x, want 0xbeef", got)
+	}
+	m.Write32(0x30, 0xdeadbeef)
+	if got := m.Read32(0x30); got != 0xdeadbeef {
+		t.Errorf("Read32 = %#x, want 0xdeadbeef", got)
+	}
+	m.Write64(0x40, 0x0123456789abcdef)
+	if got := m.Read64(0x40); got != 0x0123456789abcdef {
+		t.Errorf("Read64 = %#x", got)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := mem.New(64)
+	m.Write32(0, 0x04030201)
+	for i, want := range []uint8{1, 2, 3, 4} {
+		if got := m.Read8(uint64(i)); got != want {
+			t.Errorf("byte %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSignedRoundTripProperty(t *testing.T) {
+	m := mem.New(1 << 12)
+	prop := func(v int64, widthSel uint8) bool {
+		width := []int{8, 16, 32, 64}[widthSel%4]
+		m.WriteSigned(128, width, v)
+		got := m.ReadSigned(128, width)
+		// The read value must equal v truncated then sign-extended.
+		want := v << (64 - uint(width)) >> (64 - uint(width))
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	m := mem.New(64)
+	m.Write64(0, 1)
+	m.Write8(8, 1)
+	m.Read32(0)
+	m.Read16(0)
+	if m.BytesWritten != 9 {
+		t.Errorf("BytesWritten = %d, want 9", m.BytesWritten)
+	}
+	if m.BytesRead != 6 {
+		t.Errorf("BytesRead = %d, want 6", m.BytesRead)
+	}
+	m.ResetCounters()
+	if m.BytesRead != 0 || m.BytesWritten != 0 {
+		t.Error("counters not reset")
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	m := mem.New(16)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-bounds access")
+		}
+	}()
+	m.Read64(12) // crosses the end
+}
+
+func TestSize(t *testing.T) {
+	if got := mem.New(4096).Size(); got != 4096 {
+		t.Errorf("Size = %d, want 4096", got)
+	}
+}

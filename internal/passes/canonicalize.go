@@ -1,0 +1,157 @@
+// Package passes implements the compiler passes of the paper's pipeline
+// (Figure 8): generic cleanups (canonicalize, CSE, LICM) that regular MLIR
+// provides, plus the accfg-specific passes that form the paper's
+// contribution — state tracing (§5.3), configuration deduplication (§5.4),
+// setup hoisting through control flow (§5.4.1) and configuration overlap
+// (§5.5).
+package passes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"configwall/internal/ir"
+)
+
+// Canonicalize returns a pass that greedily folds constants, applies op
+// canonicalization patterns and erases dead pure ops.
+func Canonicalize() ir.Pass {
+	return ir.PassFunc{
+		PassName: "canonicalize",
+		Fn: func(m *ir.Module) error {
+			ir.ApplyPatternsGreedy(m.Op(), nil)
+			return nil
+		},
+	}
+}
+
+// CSE returns the common-subexpression-elimination pass. The paper relies on
+// CSE to make SSA-value equality a usable proxy for runtime-value equality
+// during configuration deduplication (§5.4).
+func CSE() ir.Pass {
+	return ir.PassFunc{
+		PassName: "cse",
+		Fn: func(m *ir.Module) error {
+			for _, f := range m.Funcs() {
+				cseBlock(f.Region(0).Block(), map[string]*ir.Op{})
+			}
+			return nil
+		},
+	}
+}
+
+// opKey builds a structural hash key for a pure op: name, operand
+// identities, attributes and result types.
+func opKey(op *ir.Op) string {
+	var sb strings.Builder
+	sb.WriteString(op.Name())
+	sb.WriteByte('(')
+	for _, o := range op.Operands() {
+		fmt.Fprintf(&sb, "%p,", o)
+	}
+	sb.WriteByte(')')
+	keys := op.AttrKeys()
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "{%s=%s}", k, op.Attr(k).String())
+	}
+	for _, r := range op.Results() {
+		sb.WriteString(r.Type().String())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// cseBlock deduplicates pure ops in a block. seen maps structural keys to
+// the first defining op; nested regions inherit the map by copy so values
+// from enclosing scopes can be reused, mirroring MLIR's scoped CSE.
+func cseBlock(b *ir.Block, seen map[string]*ir.Op) {
+	for _, op := range b.Ops() {
+		if op.Block() == nil {
+			continue
+		}
+		if ir.IsPure(op) && op.NumRegions() == 0 && op.NumResults() > 0 {
+			key := opKey(op)
+			if prev, ok := seen[key]; ok {
+				for i, r := range op.Results() {
+					r.ReplaceAllUsesWith(prev.Result(i))
+				}
+				op.Erase()
+				continue
+			}
+			seen[key] = op
+		}
+		for ri := 0; ri < op.NumRegions(); ri++ {
+			inner := make(map[string]*ir.Op, len(seen))
+			for k, v := range seen {
+				inner[k] = v
+			}
+			cseBlock(op.Region(ri).Block(), inner)
+		}
+	}
+}
+
+// LICM returns the loop-invariant-code-motion pass: pure ops inside scf.for
+// whose operands are all defined outside the loop move in front of it.
+func LICM() ir.Pass {
+	return ir.PassFunc{
+		PassName: "licm",
+		Fn: func(m *ir.Module) error {
+			for _, f := range m.Funcs() {
+				// Iterate to a fixpoint so chains of invariant ops hoist.
+				for licmWalk(f.Region(0).Block()) {
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func licmWalk(b *ir.Block) bool {
+	changed := false
+	for _, op := range b.Ops() {
+		for ri := 0; ri < op.NumRegions(); ri++ {
+			if licmWalk(op.Region(ri).Block()) {
+				changed = true
+			}
+		}
+		if op.Name() != "scf.for" {
+			continue
+		}
+		body := op.Region(0).Block()
+		for _, inner := range body.Ops() {
+			if inner == body.Last() {
+				continue // never move the terminator
+			}
+			if !ir.IsPure(inner) || inner.NumRegions() != 0 {
+				continue
+			}
+			if definedInside(inner, op) {
+				continue
+			}
+			inner.MoveBefore(op)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// definedInside reports whether any operand of op is defined within loop.
+func definedInside(op *ir.Op, loop *ir.Op) bool {
+	for _, o := range op.Operands() {
+		var defOp *ir.Op
+		if o.IsBlockArg() {
+			parent := o.OwnerBlock().ParentOp()
+			if parent != nil && (parent == loop || loop.IsAncestorOf(parent)) {
+				return true
+			}
+			continue
+		}
+		defOp = o.DefiningOp()
+		if defOp != nil && (defOp == loop || loop.IsAncestorOf(defOp)) {
+			return true
+		}
+	}
+	return false
+}

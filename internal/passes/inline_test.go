@@ -1,0 +1,211 @@
+package passes_test
+
+import (
+	"testing"
+
+	"configwall/internal/dialects/accfg"
+	"configwall/internal/dialects/arith"
+	"configwall/internal/dialects/fnc"
+	"configwall/internal/ir"
+	"configwall/internal/passes"
+)
+
+// buildCalleeModule creates:
+//
+//	configure(x) { setup("acc", v = x); launch; await }
+//	main() { configure(7); configure(7) }
+//
+// Without inlining, the calls are opaque clobbers and the second setup
+// cannot be deduplicated; after inlining + trace + dedup it can.
+func buildCalleeModule(t testing.TB) *ir.Module {
+	t.Helper()
+	m := ir.NewModule()
+
+	callee := fnc.NewFunc("configure", ir.FuncType([]ir.Type{ir.I64}, nil))
+	m.Append(callee.Op)
+	cb := ir.AtEnd(callee.Body())
+	s := accfg.NewSetup(cb, "acc", nil, []accfg.Field{{Name: "v", Value: callee.Body().Arg(0)}})
+	l := accfg.NewLaunch(cb, s.State())
+	accfg.NewAwait(cb, l.Token())
+	fnc.NewReturn(cb)
+
+	main := fnc.NewFunc("main", ir.FuncType(nil, nil))
+	m.Append(main.Op)
+	mb := ir.AtEnd(main.Body())
+	c7 := arith.NewConstant(mb, 7, ir.I64)
+	fnc.NewCall(mb, "configure", []*ir.Value{c7}, nil)
+	fnc.NewCall(mb, "configure", []*ir.Value{c7}, nil)
+	fnc.NewReturn(mb)
+
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInlineExpandsCalls(t *testing.T) {
+	m := buildCalleeModule(t)
+	runPipeline(t, m, passes.Inline())
+
+	main := m.FindFunc("main")
+	count := 0
+	ir.Walk(main, func(op *ir.Op) {
+		if op.Name() == "fnc.call" {
+			count++
+		}
+	})
+	if count != 0 {
+		t.Fatalf("calls remaining in main = %d, want 0\n%s", count, ir.PrintModule(m))
+	}
+	setups := 0
+	ir.Walk(main, func(op *ir.Op) {
+		if op.Name() == accfg.OpSetup {
+			setups++
+		}
+	})
+	if setups != 2 {
+		t.Fatalf("inlined setups = %d, want 2", setups)
+	}
+}
+
+// TestInlineEnablesCrossCallDedup is the §8 future-work scenario: after
+// inlining, state tracing chains the two invocations and dedup removes the
+// redundant field write that the call boundary used to hide.
+func TestInlineEnablesCrossCallDedup(t *testing.T) {
+	// Without inlining there is nothing to optimize: the single setup
+	// lives inside the callee and each call is an opaque clobber, so the
+	// module keeps both calls and the one setup.
+	m1 := buildCalleeModule(t)
+	runPipeline(t, m1, passes.TraceStates(), passes.Dedup())
+	if got := ir.CountOpsNamed(m1, "fnc.call"); got != 2 {
+		t.Fatalf("calls before inlining = %d, want 2", got)
+	}
+	if got := totalSetupFields(m1); got != 1 {
+		t.Fatalf("callee setup fields = %d, want 1 (unchanged)", got)
+	}
+
+	// With inlining first: CSE merges the argument, dedup fires.
+	m2 := buildCalleeModule(t)
+	runPipeline(t, m2,
+		passes.Inline(),
+		passes.CSE(),
+		passes.TraceStates(),
+		passes.Dedup(),
+		passes.RemoveEmptySetups(),
+	)
+	main := m2.FindFunc("main")
+	setups := 0
+	ir.Walk(main, func(op *ir.Op) {
+		if op.Name() == accfg.OpSetup {
+			setups++
+		}
+	})
+	if setups != 1 {
+		t.Errorf("after inline+dedup, setups in main = %d, want 1 (second was redundant)\n%s",
+			setups, ir.PrintModule(m2))
+	}
+	if err := ir.Verify(m2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func totalSetupFields(m *ir.Module) int {
+	n := 0
+	m.Walk(func(op *ir.Op) {
+		if s, ok := accfg.AsSetup(op); ok {
+			n += s.NumFields()
+		}
+	})
+	return n
+}
+
+func TestInlineWithResults(t *testing.T) {
+	m := ir.NewModule()
+	callee := fnc.NewFunc("double", ir.FuncType([]ir.Type{ir.I64}, []ir.Type{ir.I64}))
+	m.Append(callee.Op)
+	cb := ir.AtEnd(callee.Body())
+	c2 := arith.NewConstant(cb, 2, ir.I64)
+	prod := arith.NewMul(cb, callee.Body().Arg(0), c2)
+	fnc.NewReturn(cb, prod)
+
+	main := fnc.NewFunc("main", ir.FuncType(nil, []ir.Type{ir.I64}))
+	m.Append(main.Op)
+	mb := ir.AtEnd(main.Body())
+	c21 := arith.NewConstant(mb, 21, ir.I64)
+	call := fnc.NewCall(mb, "double", []*ir.Value{c21}, []ir.Type{ir.I64})
+	fnc.NewReturn(mb, call.Result(0))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+
+	runPipeline(t, m, passes.Inline(), passes.Canonicalize())
+	ret := main.Body().Last()
+	v, ok := arith.ConstantValue(ret.Operand(0))
+	if !ok || v != 42 {
+		t.Errorf("inlined+folded result = (%d, %v), want 42\n%s", v, ok, ir.PrintModule(m))
+	}
+}
+
+func TestInlineLeavesExternalCalls(t *testing.T) {
+	m := ir.NewModule()
+	main := fnc.NewFunc("main", ir.FuncType(nil, nil))
+	m.Append(main.Op)
+	mb := ir.AtEnd(main.Body())
+	fnc.NewCall(mb, "external_function", nil, nil)
+	fnc.NewReturn(mb)
+
+	runPipeline(t, m, passes.Inline())
+	if got := ir.CountOpsNamed(m, "fnc.call"); got != 1 {
+		t.Errorf("external call count = %d, want 1 (must not inline)", got)
+	}
+}
+
+func TestInlineRejectsDirectRecursion(t *testing.T) {
+	m := ir.NewModule()
+	f := fnc.NewFunc("rec", ir.FuncType(nil, nil))
+	m.Append(f.Op)
+	fb := ir.AtEnd(f.Body())
+	fnc.NewCall(fb, "rec", nil, nil)
+	fnc.NewReturn(fb)
+
+	// Must terminate without error and leave the recursive call alone.
+	runPipeline(t, m, passes.Inline())
+	if got := ir.CountOpsNamed(m, "fnc.call"); got != 1 {
+		t.Errorf("recursive call count = %d, want 1", got)
+	}
+}
+
+func TestInlineCollapsesCallChains(t *testing.T) {
+	m := ir.NewModule()
+	leaf := fnc.NewFunc("leaf", ir.FuncType(nil, []ir.Type{ir.I64}))
+	m.Append(leaf.Op)
+	lb := ir.AtEnd(leaf.Body())
+	fnc.NewReturn(lb, arith.NewConstant(lb, 5, ir.I64))
+
+	mid := fnc.NewFunc("mid", ir.FuncType(nil, []ir.Type{ir.I64}))
+	m.Append(mid.Op)
+	midb := ir.AtEnd(mid.Body())
+	midCall := fnc.NewCall(midb, "leaf", nil, []ir.Type{ir.I64})
+	fnc.NewReturn(midb, midCall.Result(0))
+
+	main := fnc.NewFunc("main", ir.FuncType(nil, []ir.Type{ir.I64}))
+	m.Append(main.Op)
+	mb := ir.AtEnd(main.Body())
+	topCall := fnc.NewCall(mb, "mid", nil, []ir.Type{ir.I64})
+	fnc.NewReturn(mb, topCall.Result(0))
+
+	runPipeline(t, m, passes.Inline())
+	calls := 0
+	ir.Walk(main.Op, func(op *ir.Op) {
+		if op.Name() == "fnc.call" {
+			calls++
+		}
+	})
+	if calls != 0 {
+		t.Errorf("calls in main after chain inlining = %d, want 0", calls)
+	}
+	ret := main.Body().Last()
+	if v, ok := arith.ConstantValue(ret.Operand(0)); !ok || v != 5 {
+		t.Errorf("chain result wrong: %d %v", v, ok)
+	}
+}

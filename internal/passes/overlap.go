@@ -1,0 +1,345 @@
+package passes
+
+import (
+	"configwall/internal/dialects/accfg"
+	"configwall/internal/ir"
+)
+
+// Overlap returns the configuration-computation overlap pass (paper §5.5).
+// It only applies to accelerators with concurrent-configuration hardware
+// (staging registers); concurrent names whether a given accelerator
+// supports it.
+//
+// The pass performs two rewrites:
+//
+//  1. Loop software-pipelining (paper Figure 9, second -> third block): in a
+//     loop whose body is setup -> launch -> await, the launch is moved to
+//     the top of the body reading the loop-carried state (configured by the
+//     previous iteration), and the setup is retargeted to the *next*
+//     iteration's values, so it executes while the accelerator runs.
+//  2. Straight-line overlap: a setup whose input state was launched and is
+//     awaited earlier in the same block moves up in front of the await,
+//     hiding its latency behind the in-flight computation.
+func Overlap(concurrent func(accelerator string) bool) ir.Pass {
+	return ir.PassFunc{
+		PassName: "accfg-overlap",
+		Fn: func(m *ir.Module) error {
+			var loops []*ir.Op
+			m.Walk(func(op *ir.Op) {
+				if op.Name() == scf_OpFor {
+					loops = append(loops, op)
+				}
+			})
+			for _, loop := range loops {
+				pipelineLoop(loop, concurrent)
+			}
+			// Straight-line overlap, applied to every block (including the
+			// loop preheaders the pipelining just created).
+			var blocks []*ir.Block
+			m.Walk(func(op *ir.Op) {
+				for ri := 0; ri < op.NumRegions(); ri++ {
+					blocks = append(blocks, op.Region(ri).Block())
+				}
+			})
+			for _, blk := range blocks {
+				overlapBlock(blk, concurrent)
+			}
+			return nil
+		},
+	}
+}
+
+// pipelineLoop rewrites one loop into pipelined form when its body matches
+// the setup/launch/await shape. Reports whether it changed the loop.
+func pipelineLoop(loop *ir.Op, concurrent func(string) bool) bool {
+	body := loop.Region(0).Block()
+	yield := body.Last()
+	if yield == nil || yield.Name() != scf_OpYield {
+		return false
+	}
+
+	// Find the pattern ops at depth 1.
+	var setupOp, launchOp, awaitOp *ir.Op
+	for _, op := range body.Ops() {
+		switch op.Name() {
+		case accfg.OpSetup:
+			if setupOp != nil {
+				return false // multiple setups: not the simple shape
+			}
+			setupOp = op
+		case accfg.OpLaunch:
+			if launchOp != nil {
+				return false
+			}
+			launchOp = op
+		case accfg.OpAwait:
+			if awaitOp != nil {
+				return false
+			}
+			awaitOp = op
+		}
+	}
+	if setupOp == nil || launchOp == nil || awaitOp == nil {
+		return false
+	}
+	s, _ := accfg.AsSetup(setupOp)
+	if !concurrent(s.Accelerator()) {
+		return false
+	}
+	l, _ := accfg.AsLaunch(launchOp)
+	a, _ := accfg.AsAwait(awaitOp)
+
+	// Shape requirements: setup chains from the loop-carried state arg,
+	// launch launches the setup's state, await awaits that launch, and the
+	// yield carries the setup's state back around.
+	if !s.HasInState() {
+		return false
+	}
+	arg := s.InState()
+	if !arg.IsBlockArg() || arg.OwnerBlock() != body {
+		return false
+	}
+	argIdx := arg.ResultIndex() - 1
+	if argIdx < 0 {
+		return false
+	}
+	if l.State() != s.State() || a.Token() != l.Token() {
+		return false
+	}
+	if argIdx >= yield.NumOperands() || yield.Operand(argIdx) != s.State() {
+		return false
+	}
+	if !setupOp.IsBefore(launchOp) || !launchOp.IsBefore(awaitOp) {
+		return false
+	}
+	// Only state-preserving ops may sit between setup and launch, since the
+	// launch moves above them.
+	for o := setupOp.Next(); o != nil && o != launchOp; o = o.Next() {
+		if accfg.EffectsOf(o) == ir.EffectsAll {
+			return false
+		}
+	}
+	// The setup's in-loop input slice must be pure so it can be recomputed
+	// for iteration i+1. It may only reference the induction variable and
+	// the state arg among the loop's block arguments — the prologue clone
+	// remaps exactly those two.
+	slice, ok := pureInputSlice(setupOp, body, map[*ir.Value]bool{
+		body.Arg(0): true,
+		arg:         true,
+	})
+	if !ok {
+		return false
+	}
+
+	iv := body.Arg(0)
+	lb := loop.Operand(0)
+	step := loop.Operand(2)
+
+	// 1. Prologue: clone the setup (and its in-loop slice) before the loop,
+	//    with iv -> lb and the state arg -> the loop's init state.
+	init := loop.Operand(3 + argIdx)
+	mapping := map[*ir.Value]*ir.Value{iv: lb, arg: init}
+	pb := ir.Before(loop)
+	for _, o := range slice {
+		pb.Insert(o.Clone(mapping))
+	}
+	proSetup := setupOp.Clone(mapping)
+	pb.Insert(proSetup)
+	loop.SetOperand(3+argIdx, proSetup.Result(0))
+
+	// 2. Launch now reads the loop-carried state and moves to the top of
+	//    the body (before the setup and its input slice).
+	launchOp.SetOperand(0, arg)
+	first := body.First()
+	if first != launchOp {
+		launchOp.MoveBefore(first)
+	}
+
+	// 3. The in-loop setup computes the *next* iteration's configuration:
+	//    clone its input slice with iv -> iv+step, after the launch.
+	ib := ir.After(launchOp)
+	ivNext := ib.Create("arith.addi", []*ir.Value{iv, step}, []ir.Type{iv.Type()}).Result(0)
+	ivNext.SetName("i_next")
+	remap := map[*ir.Value]*ir.Value{iv: ivNext}
+	for _, o := range slice {
+		cl := o.Clone(remap)
+		cl.MoveBefore(setupOp)
+		// Clone returns a detached op; move it into place before setup.
+	}
+	for i, operand := range setupOp.Operands() {
+		if nv, ok := remap[operand]; ok {
+			setupOp.SetOperand(i, nv)
+		}
+	}
+	// The original slice ops may now be dead; greedy DCE cleans them later.
+	return true
+}
+
+// pureInputSlice returns the ops inside body that (transitively) compute the
+// setup's field operands, in program order. ok=false when any of them is
+// impure, carries regions, or references a block argument outside
+// allowedArgs.
+func pureInputSlice(setupOp *ir.Op, body *ir.Block, allowedArgs map[*ir.Value]bool) ([]*ir.Op, bool) {
+	needed := map[*ir.Op]bool{}
+	var visit func(v *ir.Value) bool
+	visit = func(v *ir.Value) bool {
+		if v.IsBlockArg() {
+			if v.OwnerBlock() == body && !allowedArgs[v] {
+				return false
+			}
+			return true // remapped (iv, state arg) or defined in an enclosing scope
+		}
+		def := v.DefiningOp()
+		if def == nil || def.Block() != body {
+			return true // defined outside the loop: invariant
+		}
+		if needed[def] {
+			return true
+		}
+		if !ir.IsPure(def) || def.NumRegions() != 0 {
+			return false
+		}
+		needed[def] = true
+		for _, o := range def.Operands() {
+			if !visit(o) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, f := range setup(setupOp).Fields() {
+		if !visit(f.Value) {
+			return nil, false
+		}
+	}
+	var out []*ir.Op
+	for _, o := range body.Ops() {
+		if needed[o] {
+			out = append(out, o)
+		}
+	}
+	return out, true
+}
+
+func setup(op *ir.Op) accfg.Setup {
+	s, _ := accfg.AsSetup(op)
+	return s
+}
+
+// overlapBlock applies the straight-line overlap rewrite within one block:
+// setups whose input state is in flight (launched, await pending later in
+// the block before the setup) move in front of the await.
+func overlapBlock(blk *ir.Block, concurrent func(string) bool) bool {
+	changed := false
+	for _, op := range blk.Ops() {
+		s, ok := accfg.AsSetup(op)
+		if !ok || op.Block() != blk || !s.HasInState() || !concurrent(s.Accelerator()) {
+			continue
+		}
+		// Find a launch of the setup's input state earlier in this block.
+		launchOp := findLaunchOf(s.InState(), blk)
+		if launchOp == nil || !launchOp.IsBefore(op) {
+			continue
+		}
+		// Find the await of that launch between the launch and the setup.
+		l, _ := accfg.AsLaunch(launchOp)
+		var awaitOp *ir.Op
+		for _, u := range l.Token().Uses() {
+			if u.Op.Name() == accfg.OpAwait && u.Op.Block() == blk {
+				awaitOp = u.Op
+			}
+		}
+		if awaitOp == nil || !awaitOp.IsBefore(op) {
+			continue
+		}
+		// Everything the setup needs that is defined between the await and
+		// the setup must be pure and moves along.
+		movable, ok := movableSlice(op, awaitOp)
+		if !ok {
+			continue
+		}
+		// All skipped-over ops must preserve accelerator state.
+		safe := true
+		for o := awaitOp; o != nil && o != op; o = o.Next() {
+			if movableContains(movable, o) || o == awaitOp {
+				continue
+			}
+			if accfg.EffectsOf(o) == ir.EffectsAll {
+				safe = false
+				break
+			}
+		}
+		if !safe {
+			continue
+		}
+		for _, mo := range movable {
+			mo.MoveBefore(awaitOp)
+		}
+		op.MoveBefore(awaitOp)
+		changed = true
+	}
+	return changed
+}
+
+func movableContains(ops []*ir.Op, op *ir.Op) bool {
+	for _, o := range ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// findLaunchOf returns the accfg.launch in blk whose state operand is state.
+func findLaunchOf(state *ir.Value, blk *ir.Block) *ir.Op {
+	for _, u := range state.Uses() {
+		if u.Op.Name() == accfg.OpLaunch && u.Op.Block() == blk {
+			return u.Op
+		}
+	}
+	return nil
+}
+
+// movableSlice collects the pure ops strictly between barrier and op that
+// op's operands transitively depend on, in program order. ok=false when an
+// impure dependency blocks the move.
+func movableSlice(op *ir.Op, barrier *ir.Op) ([]*ir.Op, bool) {
+	blk := op.Block()
+	between := map[*ir.Op]bool{}
+	for o := barrier.Next(); o != nil && o != op; o = o.Next() {
+		between[o] = true
+	}
+	needed := map[*ir.Op]bool{}
+	var visit func(v *ir.Value) bool
+	visit = func(v *ir.Value) bool {
+		def := v.DefiningOp()
+		if def == nil || !between[def] {
+			return true
+		}
+		if needed[def] {
+			return true
+		}
+		if !ir.IsPure(def) || def.NumRegions() != 0 {
+			return false
+		}
+		needed[def] = true
+		for _, o := range def.Operands() {
+			if !visit(o) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, operand := range op.Operands() {
+		if !visit(operand) {
+			return nil, false
+		}
+	}
+	var out []*ir.Op
+	for o := blk.First(); o != nil; o = o.Next() {
+		if needed[o] {
+			out = append(out, o)
+		}
+	}
+	return out, true
+}

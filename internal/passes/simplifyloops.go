@@ -1,0 +1,93 @@
+package passes
+
+import (
+	"configwall/internal/dialects/arith"
+	"configwall/internal/ir"
+)
+
+// SimplifyTrivialLoops returns the pass that removes scf.for loops with a
+// statically-known trip count of zero (replaced by their initial values) or
+// one (body inlined with the induction variable bound to the lower bound).
+//
+// This models the loop simplifications a compiler performs when it can see
+// through the loop body — exactly what volatile inline assembly prevents
+// (paper §3.1) and what the accfg abstraction re-enables: the paper
+// attributes part of the Gemmini uplift to "better constant folding and
+// loop unrolling" (§6.1). It therefore belongs to the accfg pipelines, not
+// to the volatile-asm baseline.
+func SimplifyTrivialLoops() ir.Pass {
+	return ir.PassFunc{
+		PassName: "simplify-trivial-loops",
+		Fn: func(m *ir.Module) error {
+			for {
+				var target *ir.Op
+				trip := int64(-1)
+				m.Walk(func(op *ir.Op) {
+					if target != nil || op.Name() != scf_OpFor {
+						return
+					}
+					if t, ok := tripCount(op); ok && t <= 1 {
+						target = op
+						trip = t
+					}
+				})
+				if target == nil {
+					return nil
+				}
+				if trip == 0 {
+					eraseZeroTrip(target)
+				} else {
+					inlineSingleTrip(target)
+				}
+			}
+		},
+	}
+}
+
+// tripCount returns the loop's static trip count when lb, ub and step are
+// constants.
+func tripCount(loop *ir.Op) (int64, bool) {
+	lb, okL := arith.ConstantValue(loop.Operand(0))
+	ub, okU := arith.ConstantValue(loop.Operand(1))
+	step, okS := arith.ConstantValue(loop.Operand(2))
+	if !okL || !okU || !okS || step <= 0 {
+		return 0, false
+	}
+	if ub <= lb {
+		return 0, true
+	}
+	return (ub - lb + step - 1) / step, true
+}
+
+func eraseZeroTrip(loop *ir.Op) {
+	n := loop.NumOperands() - 3
+	for i := 0; i < n; i++ {
+		loop.Result(i).ReplaceAllUsesWith(loop.Operand(3 + i))
+	}
+	loop.Erase()
+}
+
+func inlineSingleTrip(loop *ir.Op) {
+	body := loop.Region(0).Block()
+	yield := body.Last()
+
+	mapping := map[*ir.Value]*ir.Value{
+		body.Arg(0): loop.Operand(0), // iv -> lb
+	}
+	n := loop.NumOperands() - 3
+	for i := 0; i < n; i++ {
+		mapping[body.Arg(1+i)] = loop.Operand(3 + i)
+	}
+	b := ir.Before(loop)
+	for op := body.First(); op != nil && op != yield; op = op.Next() {
+		b.Insert(op.Clone(mapping))
+	}
+	for i := 0; i < n; i++ {
+		y := yield.Operand(i)
+		if m, ok := mapping[y]; ok {
+			y = m
+		}
+		loop.Result(i).ReplaceAllUsesWith(y)
+	}
+	loop.Erase()
+}

@@ -1,0 +1,178 @@
+package passes
+
+import (
+	"configwall/internal/dialects/accfg"
+	"configwall/internal/ir"
+)
+
+// TraceStates returns the state-tracing pass (paper §5.3): it connects
+// accfg.setup operations into per-accelerator state chains by adding the
+// previous live state as the in-state operand, threading states through
+// scf.for iteration arguments and scf.if results. The chains are what the
+// deduplication pass later reasons about, in the spirit of memory SSA.
+//
+// Chains are never created across operations that may clobber accelerator
+// state (accfg.EffectsOf == all): the trace conservatively restarts there.
+func TraceStates() ir.Pass {
+	return ir.PassFunc{
+		PassName: "accfg-trace-states",
+		Fn: func(m *ir.Module) error {
+			for _, f := range m.Funcs() {
+				for _, accel := range acceleratorsIn(f) {
+					traceBlock(f.Region(0).Block(), accel, nil)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// acceleratorsIn lists the distinct accelerator names configured in f,
+// in first-appearance order.
+func acceleratorsIn(f *ir.Op) []string {
+	var names []string
+	seen := map[string]bool{}
+	ir.Walk(f, func(op *ir.Op) {
+		if s, ok := accfg.AsSetup(op); ok && !seen[s.Accelerator()] {
+			seen[s.Accelerator()] = true
+			names = append(names, s.Accelerator())
+		}
+	})
+	return names
+}
+
+// containsSetupFor reports whether the subtree rooted at op configures the
+// accelerator.
+func containsSetupFor(op *ir.Op, accel string) bool {
+	found := false
+	ir.Walk(op, func(o *ir.Op) {
+		if s, ok := accfg.AsSetup(o); ok && s.Accelerator() == accel {
+			found = true
+		}
+	})
+	return found
+}
+
+// subtreeClobbers reports whether any op in the subtree clobbers
+// accelerator state.
+func subtreeClobbers(op *ir.Op) bool {
+	clobbers := false
+	ir.Walk(op, func(o *ir.Op) {
+		if accfg.ClobbersState(o) {
+			clobbers = true
+		}
+	})
+	return clobbers
+}
+
+// traceBlock walks a block threading the live state for one accelerator.
+// current is the state value live on entry (nil = unknown). It returns the
+// state live on exit (nil = unknown/clobbered).
+func traceBlock(b *ir.Block, accel string, current *ir.Value) *ir.Value {
+	for _, op := range b.Ops() {
+		switch op.Name() {
+		case accfg.OpSetup:
+			s, _ := accfg.AsSetup(op)
+			if s.Accelerator() != accel {
+				continue
+			}
+			if current != nil && !s.HasInState() {
+				s.SetInState(current)
+			}
+			current = s.State()
+
+		case scf_OpFor:
+			current = traceFor(op, accel, current)
+
+		case scf_OpIf:
+			current = traceIf(op, accel, current)
+
+		default:
+			if accfg.ClobbersState(op) {
+				current = nil
+			}
+		}
+	}
+	return current
+}
+
+// Local copies of the scf op names to avoid an import cycle with dialects
+// that themselves use passes in tests.
+const (
+	scf_OpFor   = "scf.for"
+	scf_OpIf    = "scf.if"
+	scf_OpYield = "scf.yield"
+)
+
+// traceFor threads the state through an scf.for via a new iteration
+// argument, creating an empty anchor setup before the loop when no state is
+// live yet (paper Figure 9, first block).
+func traceFor(loop *ir.Op, accel string, current *ir.Value) *ir.Value {
+	if !containsSetupFor(loop, accel) {
+		if subtreeClobbers(loop) {
+			return nil
+		}
+		return current
+	}
+	if subtreeClobbers(loop) {
+		// Cannot thread state through a loop with clobbering ops: trace
+		// the inside standalone and lose the chain.
+		traceBlock(loop.Region(0).Block(), accel, nil)
+		return nil
+	}
+	if current == nil {
+		b := ir.Before(loop)
+		anchor := accfg.NewSetup(b, accel, nil, nil)
+		current = anchor.State()
+	}
+	body := loop.Region(0).Block()
+	yield := body.Last()
+
+	// Add the loop-carried state: operand, block arg, result.
+	loop.AddOperand(current)
+	arg := body.AddArg(current.Type())
+	res := loop.AddResult(current.Type())
+
+	final := traceBlock(body, accel, arg)
+	if final == nil {
+		// A clobber appeared at depth >1 that subtreeClobbers missed
+		// (defensive); fall back to yielding the arg unchanged.
+		final = arg
+	}
+	yield.AddOperand(final)
+	return res
+}
+
+// traceIf threads the state through an scf.if by yielding the final state of
+// both branches as a new result.
+func traceIf(ifOp *ir.Op, accel string, current *ir.Value) *ir.Value {
+	if !containsSetupFor(ifOp, accel) {
+		if subtreeClobbers(ifOp) {
+			return nil
+		}
+		return current
+	}
+	if subtreeClobbers(ifOp) {
+		traceBlock(ifOp.Region(0).Block(), accel, current)
+		traceBlock(ifOp.Region(1).Block(), accel, current)
+		return nil
+	}
+	if current == nil {
+		b := ir.Before(ifOp)
+		anchor := accfg.NewSetup(b, accel, nil, nil)
+		current = anchor.State()
+	}
+	thenBlk := ifOp.Region(0).Block()
+	elseBlk := ifOp.Region(1).Block()
+	thenFinal := traceBlock(thenBlk, accel, current)
+	elseFinal := traceBlock(elseBlk, accel, current)
+	if thenFinal == nil {
+		thenFinal = current
+	}
+	if elseFinal == nil {
+		elseFinal = current
+	}
+	thenBlk.Last().AddOperand(thenFinal)
+	elseBlk.Last().AddOperand(elseFinal)
+	return ifOp.AddResult(current.Type())
+}

@@ -1,0 +1,288 @@
+// Package riscv defines the RV64-subset host instruction set used by the
+// co-simulator: the integer ALU and memory instructions the code generator
+// emits, plus the two accelerator interfaces the paper's targets use —
+// RoCC-style custom instructions (Gemmini, §2.4) and CSR accesses
+// (OpenGeMM-style memory-less configuration ports).
+package riscv
+
+import "fmt"
+
+// Reg is a register number x0..x31. x0 is hard-wired to zero.
+type Reg uint8
+
+// Register aliases following the RISC-V psABI.
+const (
+	X0 Reg = 0  // zero
+	RA Reg = 1  // return address (unused by generated code)
+	SP Reg = 2  // stack pointer (spill slots)
+	GP Reg = 3  // global pointer (static data base)
+	TP Reg = 4  // thread pointer (reserved scratch 2)
+	T0 Reg = 5  // scratch 0
+	T1 Reg = 6  // scratch 1
+	A0 Reg = 10 // first argument register
+)
+
+// NumRegs is the architectural register count.
+const NumRegs = 32
+
+// Opcode enumerates the supported instructions.
+type Opcode uint8
+
+// Instruction opcodes.
+const (
+	NOP Opcode = iota
+	// ALU register-register.
+	ADD
+	SUB
+	MUL
+	DIVU
+	REMU
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SLT
+	SLTU
+	// ALU register-immediate.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SLTIU
+	// Constant materialization (pseudo: lui+addi pair counted as one).
+	LI
+	// Memory.
+	LB
+	LH
+	LW
+	LD
+	SB
+	SH
+	SW
+	SD
+	// Control flow (label-based; the assembler resolves targets).
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	JAL
+	// Accelerator interfaces.
+	CUSTOM // RoCC-style: funct7 selects the operation, rs1/rs2 carry 16 bytes
+	CSRRW  // CSR write: csr[imm] = rs1
+	CSRRS  // CSR read: rd = csr[imm]
+	// Simulation control.
+	HALT
+)
+
+var opcodeNames = map[Opcode]string{
+	NOP: "nop", ADD: "add", SUB: "sub", MUL: "mul", DIVU: "divu", REMU: "remu",
+	AND: "and", OR: "or", XOR: "xor", SLL: "sll", SRL: "srl", SLT: "slt", SLTU: "sltu",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori", SLLI: "slli", SRLI: "srli",
+	SLTIU: "sltiu", LI: "li",
+	LB: "lb", LH: "lh", LW: "lw", LD: "ld", SB: "sb", SH: "sh", SW: "sw", SD: "sd",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	JAL: "jal", CUSTOM: "custom", CSRRW: "csrrw", CSRRS: "csrrs", HALT: "halt",
+}
+
+// String returns the assembly mnemonic.
+func (o Opcode) String() string {
+	if n, ok := opcodeNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Class categorizes instructions for the performance counters the paper's
+// methodology needs (§6.1: configuration vs calculation instructions).
+type Class uint8
+
+// Instruction classes.
+const (
+	// ClassHost is ordinary host computation.
+	ClassHost Class = iota
+	// ClassConfig is a write on the accelerator configuration interface
+	// (RoCC custom instruction or CSR write to the accelerator's range).
+	ClassConfig
+	// ClassConfigCalc is host arithmetic whose only purpose is computing
+	// configuration values (bit-packing etc.), tagged by the lowering.
+	ClassConfigCalc
+	// ClassSync is launch/await synchronization (fences, busy polls).
+	ClassSync
+)
+
+// Instr is one decoded instruction. Branch targets are symbolic labels
+// resolved by the assembler.
+type Instr struct {
+	Op     Opcode
+	Rd     Reg
+	Rs1    Reg
+	Rs2    Reg
+	Imm    int64  // immediate, CSR address for CSRRW/CSRRS
+	Funct7 uint32 // CUSTOM function selector
+	Label  string // branch/jump target
+	Class  Class
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case NOP, HALT:
+		return i.Op.String()
+	case LI:
+		return fmt.Sprintf("li x%d, %d", i.Rd, i.Imm)
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SLTIU:
+		return fmt.Sprintf("%s x%d, x%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case LB, LH, LW, LD:
+		return fmt.Sprintf("%s x%d, %d(x%d)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case SB, SH, SW, SD:
+		return fmt.Sprintf("%s x%d, %d(x%d)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return fmt.Sprintf("%s x%d, x%d, %s", i.Op, i.Rs1, i.Rs2, i.Label)
+	case JAL:
+		return fmt.Sprintf("j %s", i.Label)
+	case CUSTOM:
+		return fmt.Sprintf("custom.%d x%d, x%d", i.Funct7, i.Rs1, i.Rs2)
+	case CSRRW:
+		return fmt.Sprintf("csrrw x0, %#x, x%d", i.Imm, i.Rs1)
+	case CSRRS:
+		return fmt.Sprintf("csrrs x%d, %#x, x0", i.Rd, i.Imm)
+	}
+	return fmt.Sprintf("%s x%d, x%d, x%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+}
+
+// Program is an assembled instruction sequence with resolved labels.
+type Program struct {
+	Instrs []Instr
+	// Labels maps label names to instruction indices.
+	Labels map[string]int
+	// Targets maps the index of each branch/jump to its target index.
+	Targets map[int]int
+}
+
+// Disassemble renders the program as assembly text with label markers.
+func (p *Program) Disassemble() string {
+	byIndex := map[int][]string{}
+	for name, idx := range p.Labels {
+		byIndex[idx] = append(byIndex[idx], name)
+	}
+	out := ""
+	for i, ins := range p.Instrs {
+		for _, l := range byIndex[i] {
+			out += l + ":\n"
+		}
+		out += fmt.Sprintf("  %s\n", ins)
+	}
+	return out
+}
+
+// Assembler incrementally builds a Program.
+type Assembler struct {
+	instrs []Instr
+	labels map[string]int
+	nextID int
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{labels: map[string]int{}}
+}
+
+// Emit appends an instruction and returns its index.
+func (a *Assembler) Emit(i Instr) int {
+	a.instrs = append(a.instrs, i)
+	return len(a.instrs) - 1
+}
+
+// Label binds name to the next emitted instruction.
+func (a *Assembler) Label(name string) {
+	a.labels[name] = len(a.instrs)
+}
+
+// FreshLabel returns a unique label with the given prefix.
+func (a *Assembler) FreshLabel(prefix string) string {
+	a.nextID++
+	return fmt.Sprintf(".%s%d", prefix, a.nextID)
+}
+
+// Len returns the number of instructions emitted so far.
+func (a *Assembler) Len() int { return len(a.instrs) }
+
+// Finish resolves labels and returns the program.
+func (a *Assembler) Finish() (*Program, error) {
+	p := &Program{Instrs: a.instrs, Labels: a.labels, Targets: map[int]int{}}
+	for i, ins := range a.instrs {
+		if ins.Label == "" {
+			continue
+		}
+		t, ok := a.labels[ins.Label]
+		if !ok {
+			return nil, fmt.Errorf("riscv: undefined label %q at instruction %d", ins.Label, i)
+		}
+		p.Targets[i] = t
+	}
+	return p, nil
+}
+
+// CostModel maps instructions to cycle counts, abstracting the host
+// microarchitecture (paper §4.6 uses a flat 3 cycles/instruction for the
+// Rocket core; a small in-order core like Snitch is closer to 1).
+type CostModel interface {
+	// Cycles returns the cost of executing one instruction.
+	Cycles(i Instr) uint64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// FlatCost charges the same cycle count for every instruction.
+type FlatCost struct {
+	PerInstr  uint64
+	ModelName string
+}
+
+// Cycles implements CostModel.
+func (c FlatCost) Cycles(Instr) uint64 { return c.PerInstr }
+
+// Name implements CostModel.
+func (c FlatCost) Name() string { return c.ModelName }
+
+// RocketCost approximates the Rocket RV64 core with the paper's 3
+// cycles/instruction (the inverse harmonic-mean IPC from Dörflinger et
+// al.), except RoCC custom instructions, which pay the RoCC command-queue
+// handshake on top (~2x a plain instruction).
+func RocketCost() CostModel { return rocketCost{} }
+
+type rocketCost struct{}
+
+func (rocketCost) Cycles(i Instr) uint64 {
+	if i.Op == CUSTOM {
+		return 6
+	}
+	return 3
+}
+
+func (rocketCost) Name() string { return "rocket-3cpi" }
+
+// SnitchCost approximates a tiny single-issue in-order RV32 core at 1
+// cycle/instruction with a small penalty on taken memory operations.
+func SnitchCost() CostModel { return snitchCost{} }
+
+type snitchCost struct{}
+
+func (snitchCost) Cycles(i Instr) uint64 {
+	switch i.Op {
+	case LB, LH, LW, LD, SB, SH, SW, SD:
+		return 2 // scratchpad access latency
+	case MUL:
+		return 2
+	case DIVU, REMU:
+		return 8
+	default:
+		return 1
+	}
+}
+
+func (snitchCost) Name() string { return "snitch-inorder" }

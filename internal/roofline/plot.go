@@ -1,0 +1,90 @@
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders roofline curves and measurement points on a log-log
+// character grid — the repository's stand-in for the paper's Figures 3, 4
+// and 12. Curves draw with their first letter; points with '1'..'9'.
+type AsciiPlot struct {
+	Width, Height  int
+	XMin, XMax     float64 // I_OC range (log scale)
+	YMin, YMax     float64 // ops/cycle range (log scale)
+	curves, points []Series
+}
+
+// NewAsciiPlot creates a plot with the given character-grid dimensions.
+func NewAsciiPlot(width, height int) *AsciiPlot {
+	return &AsciiPlot{Width: width, Height: height, XMin: 1, XMax: 1 << 14, YMin: 1, YMax: 2048}
+}
+
+// AddCurve adds a line series (drawn with the first letter of its name).
+func (p *AsciiPlot) AddCurve(s Series) { p.curves = append(p.curves, s) }
+
+// AddPoints adds a scatter series (drawn with digits by series order).
+func (p *AsciiPlot) AddPoints(s Series) { p.points = append(p.points, s) }
+
+func (p *AsciiPlot) xCol(x float64) int {
+	f := (math.Log(x) - math.Log(p.XMin)) / (math.Log(p.XMax) - math.Log(p.XMin))
+	return int(f * float64(p.Width-1))
+}
+
+func (p *AsciiPlot) yRow(y float64) int {
+	f := (math.Log(y) - math.Log(p.YMin)) / (math.Log(p.YMax) - math.Log(p.YMin))
+	return (p.Height - 1) - int(f*float64(p.Height-1))
+}
+
+// Render draws the plot.
+func (p *AsciiPlot) Render() string {
+	grid := make([][]byte, p.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", p.Width))
+	}
+	set := func(x, y int, ch byte) {
+		if x >= 0 && x < p.Width && y >= 0 && y < p.Height {
+			grid[y][x] = ch
+		}
+	}
+	for _, c := range p.curves {
+		ch := byte('?')
+		if len(c.Name) > 0 {
+			ch = c.Name[0]
+		}
+		for _, pt := range c.Points {
+			if pt.IOC <= 0 || pt.Perf <= 0 {
+				continue
+			}
+			set(p.xCol(pt.IOC), p.yRow(pt.Perf), ch)
+		}
+	}
+	for i, s := range p.points {
+		ch := byte('1' + i)
+		for _, pt := range s.Points {
+			if pt.IOC <= 0 || pt.Perf <= 0 {
+				continue
+			}
+			set(p.xCol(pt.IOC), p.yRow(pt.Perf), ch)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8.0f +%s\n", p.YMax, strings.Repeat("-", p.Width))
+	for y := 0; y < p.Height; y++ {
+		fmt.Fprintf(&sb, "%8s |%s\n", "", string(grid[y]))
+	}
+	fmt.Fprintf(&sb, "%8.0f +%s\n", p.YMin, strings.Repeat("-", p.Width))
+	fmt.Fprintf(&sb, "%10s%-10.0f%*s%.0f  (I_OC, ops/byte; log-log)\n", "", p.XMin, p.Width-12, "", p.XMax)
+	legend := []string{}
+	for _, c := range p.curves {
+		legend = append(legend, fmt.Sprintf("%c=%s", c.Name[0], c.Name))
+	}
+	for i, s := range p.points {
+		legend = append(legend, fmt.Sprintf("%c=%s", byte('1'+i), s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&sb, "legend: %s\n", strings.Join(legend, "  "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,451 @@
+// Package sim is the co-simulator: it executes host RV64-subset programs
+// with a pluggable cycle cost model, coupled to one accelerator device. It
+// reproduces the timing structure the paper analyses — host configuration
+// time, host/accelerator stalls, and the sequential-vs-concurrent
+// configuration schemes — and exposes the counters the configuration
+// roofline needs (configuration bytes, setup vs calculation cycles,
+// accelerator ops and busy cycles).
+package sim
+
+import (
+	"fmt"
+
+	"configwall/internal/accel"
+	"configwall/internal/mem"
+	"configwall/internal/riscv"
+)
+
+// Counters aggregates the measurements of one simulation run.
+type Counters struct {
+	// Cycles is the total wall-clock duration of the run.
+	Cycles uint64
+	// HostInstrs counts executed host instructions.
+	HostInstrs uint64
+	// HostCycles counts cycles the host spent executing instructions.
+	HostCycles uint64
+	// StallCycles counts cycles the host was blocked on the accelerator
+	// (sequential-configuration stalls and launch-while-busy waits).
+	StallCycles uint64
+	// ConfigInstrs counts configuration-interface writes.
+	ConfigInstrs uint64
+	// ConfigBytes counts configuration bytes transferred (paper's
+	// N_config_bytes).
+	ConfigBytes uint64
+	// ConfigCycles counts host cycles on configuration writes (T_set).
+	ConfigCycles uint64
+	// SyncCycles counts host cycles on fences and busy polls.
+	SyncCycles uint64
+	// CalcCycles counts all remaining host cycles (the paper's T_calc:
+	// parameter calculation, loop control, addressing).
+	CalcCycles uint64
+	// AccelOps counts useful accelerator operations performed.
+	AccelOps uint64
+	// AccelBusyCycles counts cycles the accelerator was computing.
+	AccelBusyCycles uint64
+	// Launches counts accelerator launches.
+	Launches uint64
+}
+
+// OpsPerCycle returns the measured performance P = ops / total cycles.
+func (c Counters) OpsPerCycle() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.AccelOps) / float64(c.Cycles)
+}
+
+// MeasuredIOC returns the measured operation-to-configuration intensity
+// I_OC = ops / configuration bytes (paper §4.2).
+func (c Counters) MeasuredIOC() float64 {
+	if c.ConfigBytes == 0 {
+		return 0
+	}
+	return float64(c.AccelOps) / float64(c.ConfigBytes)
+}
+
+// EffectiveConfigBW returns the measured effective configuration bandwidth
+// BW_Config,Eff = bytes / (T_calc + T_set) (paper Eq. 4).
+func (c Counters) EffectiveConfigBW() float64 {
+	t := c.CalcCycles + c.ConfigCycles
+	if t == 0 {
+		return 0
+	}
+	return float64(c.ConfigBytes) / float64(t)
+}
+
+// RawConfigBW returns the measured raw configuration bandwidth
+// BW_Config = bytes / T_set.
+func (c Counters) RawConfigBW() float64 {
+	if c.ConfigCycles == 0 {
+		return 0
+	}
+	return float64(c.ConfigBytes) / float64(c.ConfigCycles)
+}
+
+// SegmentKind labels a timeline segment for trace rendering (Figure 7).
+type SegmentKind uint8
+
+// Timeline segment kinds.
+const (
+	SegHostExec SegmentKind = iota
+	SegHostConfig
+	SegHostStall
+	SegAccelBusy
+)
+
+// Segment is one contiguous activity interval.
+type Segment struct {
+	Kind  SegmentKind
+	Start uint64
+	End   uint64
+}
+
+// Machine couples one host with one accelerator device over shared memory.
+type Machine struct {
+	Mem    *mem.Memory
+	Cost   riscv.CostModel
+	Device accel.Device
+
+	// Regs is the architectural register file; Regs[0] stays zero.
+	Regs [riscv.NumRegs]int64
+
+	// MaxInstrs bounds execution to catch runaway programs; 0 means the
+	// default of 2^31 instructions.
+	MaxInstrs uint64
+
+	// RecordTrace enables timeline capture into Trace.
+	RecordTrace bool
+	Trace       []Segment
+
+	Counters
+
+	now       uint64
+	busyUntil uint64
+	lastJob   accel.Launch
+}
+
+// NewMachine builds a machine around the given memory, cost model and
+// device.
+func NewMachine(m *mem.Memory, cost riscv.CostModel, dev accel.Device) *Machine {
+	return &Machine{Mem: m, Cost: cost, Device: dev}
+}
+
+// Now returns the current simulation time in cycles.
+func (mc *Machine) Now() uint64 { return mc.now }
+
+func (mc *Machine) record(kind SegmentKind, start, end uint64) {
+	if !mc.RecordTrace || end <= start {
+		return
+	}
+	// Coalesce with the previous segment when contiguous and same kind.
+	if n := len(mc.Trace); n > 0 {
+		last := &mc.Trace[n-1]
+		if last.Kind == kind && last.End == start {
+			last.End = end
+			return
+		}
+	}
+	mc.Trace = append(mc.Trace, Segment{Kind: kind, Start: start, End: end})
+}
+
+// stallUntilIdle advances time to the accelerator's completion.
+func (mc *Machine) stallUntilIdle() {
+	if mc.now < mc.busyUntil {
+		mc.record(SegHostStall, mc.now, mc.busyUntil)
+		mc.StallCycles += mc.busyUntil - mc.now
+		mc.now = mc.busyUntil
+	}
+}
+
+// Run executes the program from instruction 0 until HALT.
+func (mc *Machine) Run(p *riscv.Program) error {
+	limit := mc.MaxInstrs
+	if limit == 0 {
+		limit = 1 << 31
+	}
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(p.Instrs) {
+			return fmt.Errorf("sim: pc %d out of range (program has %d instructions)", pc, len(p.Instrs))
+		}
+		ins := p.Instrs[pc]
+		if ins.Op == riscv.HALT {
+			// Drain the accelerator so total cycles include the tail; the
+			// drain is not a configuration-interface stall, so it does not
+			// count toward StallCycles.
+			if mc.now < mc.busyUntil {
+				mc.record(SegHostStall, mc.now, mc.busyUntil)
+				mc.now = mc.busyUntil
+			}
+			mc.Cycles = mc.now
+			return nil
+		}
+		if mc.HostInstrs >= limit {
+			return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", limit)
+		}
+		next, err := mc.step(p, pc, ins)
+		if err != nil {
+			return fmt.Errorf("sim: at pc %d (%s): %w", pc, ins, err)
+		}
+		pc = next
+	}
+}
+
+func (mc *Machine) step(p *riscv.Program, pc int, ins riscv.Instr) (int, error) {
+	cost := mc.Cost.Cycles(ins)
+
+	// charge accounts the instruction at the *current* time — stalls may
+	// have advanced the clock before the instruction issues.
+	charge := func(kind SegmentKind) {
+		start := mc.now
+		mc.HostInstrs++
+		mc.HostCycles += cost
+		switch ins.Class {
+		case riscv.ClassConfig:
+			mc.ConfigCycles += cost
+		case riscv.ClassSync:
+			mc.SyncCycles += cost
+		default:
+			mc.CalcCycles += cost
+		}
+		mc.record(kind, start, start+cost)
+		mc.now = start + cost
+	}
+
+	rs1 := mc.Regs[ins.Rs1]
+	rs2 := mc.Regs[ins.Rs2]
+	setRd := func(v int64) {
+		if ins.Rd != 0 {
+			mc.Regs[ins.Rd] = v
+		}
+	}
+
+	switch ins.Op {
+	case riscv.NOP:
+		charge(SegHostExec)
+	case riscv.ADD:
+		setRd(rs1 + rs2)
+		charge(SegHostExec)
+	case riscv.SUB:
+		setRd(rs1 - rs2)
+		charge(SegHostExec)
+	case riscv.MUL:
+		setRd(rs1 * rs2)
+		charge(SegHostExec)
+	case riscv.DIVU:
+		if rs2 == 0 {
+			setRd(-1)
+		} else {
+			setRd(int64(uint64(rs1) / uint64(rs2)))
+		}
+		charge(SegHostExec)
+	case riscv.REMU:
+		if rs2 == 0 {
+			setRd(rs1)
+		} else {
+			setRd(int64(uint64(rs1) % uint64(rs2)))
+		}
+		charge(SegHostExec)
+	case riscv.AND:
+		setRd(rs1 & rs2)
+		charge(SegHostExec)
+	case riscv.OR:
+		setRd(rs1 | rs2)
+		charge(SegHostExec)
+	case riscv.XOR:
+		setRd(rs1 ^ rs2)
+		charge(SegHostExec)
+	case riscv.SLL:
+		setRd(rs1 << (uint64(rs2) & 63))
+		charge(SegHostExec)
+	case riscv.SRL:
+		setRd(int64(uint64(rs1) >> (uint64(rs2) & 63)))
+		charge(SegHostExec)
+	case riscv.SLT:
+		setRd(boolToInt(rs1 < rs2))
+		charge(SegHostExec)
+	case riscv.SLTU:
+		setRd(boolToInt(uint64(rs1) < uint64(rs2)))
+		charge(SegHostExec)
+	case riscv.ADDI:
+		setRd(rs1 + ins.Imm)
+		charge(SegHostExec)
+	case riscv.ANDI:
+		setRd(rs1 & ins.Imm)
+		charge(SegHostExec)
+	case riscv.ORI:
+		setRd(rs1 | ins.Imm)
+		charge(SegHostExec)
+	case riscv.XORI:
+		setRd(rs1 ^ ins.Imm)
+		charge(SegHostExec)
+	case riscv.SLLI:
+		setRd(rs1 << (uint64(ins.Imm) & 63))
+		charge(SegHostExec)
+	case riscv.SRLI:
+		setRd(int64(uint64(rs1) >> (uint64(ins.Imm) & 63)))
+		charge(SegHostExec)
+	case riscv.SLTIU:
+		setRd(boolToInt(uint64(rs1) < uint64(ins.Imm)))
+		charge(SegHostExec)
+	case riscv.LI:
+		setRd(ins.Imm)
+		charge(SegHostExec)
+	case riscv.LB:
+		setRd(mc.Mem.ReadSigned(uint64(rs1+ins.Imm), 8))
+		charge(SegHostExec)
+	case riscv.LH:
+		setRd(mc.Mem.ReadSigned(uint64(rs1+ins.Imm), 16))
+		charge(SegHostExec)
+	case riscv.LW:
+		setRd(mc.Mem.ReadSigned(uint64(rs1+ins.Imm), 32))
+		charge(SegHostExec)
+	case riscv.LD:
+		setRd(mc.Mem.ReadSigned(uint64(rs1+ins.Imm), 64))
+		charge(SegHostExec)
+	case riscv.SB:
+		mc.Mem.WriteSigned(uint64(rs1+ins.Imm), 8, rs2)
+		charge(SegHostExec)
+	case riscv.SH:
+		mc.Mem.WriteSigned(uint64(rs1+ins.Imm), 16, rs2)
+		charge(SegHostExec)
+	case riscv.SW:
+		mc.Mem.WriteSigned(uint64(rs1+ins.Imm), 32, rs2)
+		charge(SegHostExec)
+	case riscv.SD:
+		mc.Mem.WriteSigned(uint64(rs1+ins.Imm), 64, rs2)
+		charge(SegHostExec)
+	case riscv.BEQ:
+		charge(SegHostExec)
+		if rs1 == rs2 {
+			return p.Targets[pc], nil
+		}
+	case riscv.BNE:
+		charge(SegHostExec)
+		if rs1 != rs2 {
+			return p.Targets[pc], nil
+		}
+	case riscv.BLT:
+		charge(SegHostExec)
+		if rs1 < rs2 {
+			return p.Targets[pc], nil
+		}
+	case riscv.BGE:
+		charge(SegHostExec)
+		if rs1 >= rs2 {
+			return p.Targets[pc], nil
+		}
+	case riscv.BLTU:
+		charge(SegHostExec)
+		if uint64(rs1) < uint64(rs2) {
+			return p.Targets[pc], nil
+		}
+	case riscv.BGEU:
+		charge(SegHostExec)
+		if uint64(rs1) >= uint64(rs2) {
+			return p.Targets[pc], nil
+		}
+	case riscv.JAL:
+		charge(SegHostExec)
+		return p.Targets[pc], nil
+	case riscv.CUSTOM:
+		if err := mc.custom(ins, rs1, rs2, charge); err != nil {
+			return 0, err
+		}
+	case riscv.CSRRW:
+		if err := mc.csrWrite(uint32(ins.Imm), rs1, charge); err != nil {
+			return 0, err
+		}
+	case riscv.CSRRS:
+		mc.csrRead(uint32(ins.Imm), setRd, charge)
+	default:
+		return 0, fmt.Errorf("unimplemented opcode %s", ins.Op)
+	}
+	return pc + 1, nil
+}
+
+// custom dispatches a RoCC custom instruction to the device.
+func (mc *Machine) custom(ins riscv.Instr, rs1, rs2 int64, charge func(SegmentKind)) error {
+	dev := mc.Device
+	if dev == nil {
+		return fmt.Errorf("custom instruction with no device attached")
+	}
+	if dev.IsFence(ins.Funct7) {
+		mc.stallUntilIdle()
+		charge(SegHostStall)
+		return nil
+	}
+	// Sequential configuration: the accelerator cannot accept interface
+	// traffic while running — the host stalls (paper §2.2).
+	if dev.Scheme() == accel.Sequential {
+		mc.stallUntilIdle()
+	} else if dev.IsLaunch(ins.Funct7) {
+		// Concurrent: only a launch has to wait for the previous job.
+		mc.stallUntilIdle()
+	}
+	dev.WriteConfig(ins.Funct7, uint64(rs1), uint64(rs2))
+	mc.ConfigInstrs++
+	mc.ConfigBytes += dev.ConfigBytes(ins.Funct7)
+	charge(SegHostConfig)
+	if dev.IsLaunch(ins.Funct7) {
+		return mc.launch()
+	}
+	return nil
+}
+
+// csrWrite dispatches a CSR write to the device.
+func (mc *Machine) csrWrite(addr uint32, value int64, charge func(SegmentKind)) error {
+	dev := mc.Device
+	if dev == nil {
+		return fmt.Errorf("csr write with no device attached")
+	}
+	if dev.Scheme() == accel.Sequential || dev.IsLaunch(addr) {
+		mc.stallUntilIdle()
+	}
+	dev.WriteConfig(addr, uint64(value), 0)
+	mc.ConfigInstrs++
+	mc.ConfigBytes += dev.ConfigBytes(addr)
+	charge(SegHostConfig)
+	if dev.IsLaunch(addr) {
+		return mc.launch()
+	}
+	return nil
+}
+
+// csrRead handles status/perf CSR reads.
+func (mc *Machine) csrRead(addr uint32, setRd func(int64), charge func(SegmentKind)) {
+	busy := int64(0)
+	if mc.now < mc.busyUntil {
+		busy = 1
+	}
+	if id, ok := mc.Device.StatusID(); ok && addr == id {
+		setRd(busy)
+	} else {
+		setRd(int64(mc.lastJob.Cycles))
+	}
+	// Busy polls are waiting, not useful work: paint them as stalls so
+	// overlap accounting (Figure 7) only counts hidden *work*.
+	charge(SegHostStall)
+}
+
+// launch starts a job at the current time.
+func (mc *Machine) launch() error {
+	job, err := mc.Device.Launch(mc.Mem)
+	if err != nil {
+		return err
+	}
+	mc.lastJob = job
+	mc.busyUntil = mc.now + job.Cycles
+	mc.record(SegAccelBusy, mc.now, mc.busyUntil)
+	mc.AccelOps += job.Ops
+	mc.AccelBusyCycles += job.Cycles
+	mc.Launches++
+	return nil
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

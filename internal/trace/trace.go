@@ -1,0 +1,131 @@
+// Package trace renders co-simulator timelines as ASCII art in the style of
+// the paper's Figures 2 and 7: one row for the host (execution,
+// configuration, stalls) and one for the accelerator (busy, idle), making
+// configuration overhead and overlap visually inspectable.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"configwall/internal/sim"
+)
+
+// Timeline renders the recorded segments between fromCycle and toCycle into
+// width columns. Legend: host row E=execute C=configure .=stalled/idle;
+// accelerator row #=busy .=idle.
+func Timeline(segs []sim.Segment, fromCycle, toCycle uint64, width int) string {
+	if toCycle <= fromCycle || width <= 0 {
+		return ""
+	}
+	host := []byte(strings.Repeat(".", width))
+	acc := []byte(strings.Repeat(".", width))
+	span := float64(toCycle - fromCycle)
+	col := func(cy uint64) int {
+		f := float64(cy-fromCycle) / span
+		c := int(f * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	paint := func(row []byte, s sim.Segment, ch byte) {
+		if s.End <= fromCycle || s.Start >= toCycle {
+			return
+		}
+		a, b := s.Start, s.End
+		if a < fromCycle {
+			a = fromCycle
+		}
+		if b > toCycle {
+			b = toCycle
+		}
+		for c := col(a); c <= col(b-1); c++ {
+			row[c] = ch
+		}
+	}
+	for _, s := range segs {
+		switch s.Kind {
+		case sim.SegHostExec:
+			paint(host, s, 'E')
+		case sim.SegHostConfig:
+			paint(host, s, 'C')
+		case sim.SegHostStall:
+			paint(host, s, '.')
+		case sim.SegAccelBusy:
+			paint(acc, s, '#')
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles %d..%d\n", fromCycle, toCycle)
+	fmt.Fprintf(&sb, "host  |%s|\n", host)
+	fmt.Fprintf(&sb, "accel |%s|\n", acc)
+	sb.WriteString("legend: E=host execute  C=host configure  .=idle/stall  #=accelerator busy\n")
+	return sb.String()
+}
+
+// Summary aggregates segment durations per kind.
+type Summary struct {
+	HostExec   uint64
+	HostConfig uint64
+	HostStall  uint64
+	AccelBusy  uint64
+}
+
+// Summarize totals the recorded segments.
+func Summarize(segs []sim.Segment) Summary {
+	var s Summary
+	for _, seg := range segs {
+		d := seg.End - seg.Start
+		switch seg.Kind {
+		case sim.SegHostExec:
+			s.HostExec += d
+		case sim.SegHostConfig:
+			s.HostConfig += d
+		case sim.SegHostStall:
+			s.HostStall += d
+		case sim.SegAccelBusy:
+			s.AccelBusy += d
+		}
+	}
+	return s
+}
+
+// OverlapCycles estimates how many cycles of host activity were hidden
+// behind accelerator execution: the overlap between host exec/config
+// segments and accelerator busy segments.
+func OverlapCycles(segs []sim.Segment) uint64 {
+	var busy []sim.Segment
+	for _, s := range segs {
+		if s.Kind == sim.SegAccelBusy {
+			busy = append(busy, s)
+		}
+	}
+	var total uint64
+	for _, s := range segs {
+		if s.Kind != sim.SegHostExec && s.Kind != sim.SegHostConfig {
+			continue
+		}
+		for _, b := range busy {
+			lo, hi := max64(s.Start, b.Start), min64(s.End, b.End)
+			if hi > lo {
+				total += hi - lo
+			}
+		}
+	}
+	return total
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"configwall/internal/sim"
+	"configwall/internal/trace"
+)
+
+func sampleSegments() []sim.Segment {
+	return []sim.Segment{
+		{Kind: sim.SegHostExec, Start: 0, End: 10},
+		{Kind: sim.SegHostConfig, Start: 10, End: 20},
+		{Kind: sim.SegAccelBusy, Start: 20, End: 50},
+		{Kind: sim.SegHostStall, Start: 20, End: 50},
+		{Kind: sim.SegHostExec, Start: 50, End: 60},
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	out := trace.Timeline(sampleSegments(), 0, 60, 60)
+	if !strings.Contains(out, "host  |") || !strings.Contains(out, "accel |") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var host, acc string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "host  |") {
+			host = l
+		}
+		if strings.HasPrefix(l, "accel |") {
+			acc = l
+		}
+	}
+	if !strings.Contains(host, "E") || !strings.Contains(host, "C") {
+		t.Errorf("host row missing activity: %s", host)
+	}
+	if !strings.Contains(acc, "#") {
+		t.Errorf("accel row missing busy: %s", acc)
+	}
+	// The busy period occupies roughly the middle half of the plot.
+	busyStart := strings.Index(acc, "#")
+	if busyStart < 15 || busyStart > 30 {
+		t.Errorf("busy starts at col %d, want ~20/60 of width", busyStart)
+	}
+}
+
+func TestTimelineEmptyRanges(t *testing.T) {
+	if out := trace.Timeline(nil, 10, 10, 50); out != "" {
+		t.Error("empty range should render nothing")
+	}
+	if out := trace.Timeline(nil, 0, 100, 0); out != "" {
+		t.Error("zero width should render nothing")
+	}
+}
+
+func TestTimelineClipsToWindow(t *testing.T) {
+	out := trace.Timeline(sampleSegments(), 15, 25, 10)
+	if out == "" {
+		t.Fatal("window render empty")
+	}
+	// Segments entirely outside the window must not appear: at 15..25 the
+	// host exec segments (0..10 and 50..60) are invisible, so the host row
+	// shows only configuration and idle.
+	hostRow := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "host  |") {
+			hostRow = l
+		}
+	}
+	if strings.Contains(hostRow, "E") {
+		t.Errorf("host row shows out-of-window segments: %s", hostRow)
+	}
+	if !strings.Contains(hostRow, "C") {
+		t.Errorf("host row missing in-window config segment: %s", hostRow)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := trace.Summarize(sampleSegments())
+	if s.HostExec != 20 {
+		t.Errorf("HostExec = %d, want 20", s.HostExec)
+	}
+	if s.HostConfig != 10 {
+		t.Errorf("HostConfig = %d, want 10", s.HostConfig)
+	}
+	if s.HostStall != 30 {
+		t.Errorf("HostStall = %d, want 30", s.HostStall)
+	}
+	if s.AccelBusy != 30 {
+		t.Errorf("AccelBusy = %d, want 30", s.AccelBusy)
+	}
+}
+
+func TestOverlapCycles(t *testing.T) {
+	segs := []sim.Segment{
+		{Kind: sim.SegAccelBusy, Start: 0, End: 100},
+		{Kind: sim.SegHostConfig, Start: 50, End: 80}, // 30 overlapped
+		{Kind: sim.SegHostExec, Start: 90, End: 120},  // 10 overlapped
+		{Kind: sim.SegHostStall, Start: 80, End: 90},  // stalls never count
+	}
+	if got := trace.OverlapCycles(segs); got != 40 {
+		t.Errorf("OverlapCycles = %d, want 40", got)
+	}
+	if got := trace.OverlapCycles(nil); got != 0 {
+		t.Errorf("OverlapCycles(nil) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,205 @@
+// Package workload builds the tiled matrix-multiplication programs the
+// paper evaluates (§6): accfg-level IR that configures, launches and awaits
+// the Gemmini-style and OpenGeMM-style accelerators tile by tile, plus the
+// golden CPU reference used to check functional correctness of every
+// compiled binary.
+package workload
+
+import (
+	"fmt"
+
+	"configwall/internal/accel/gemmini"
+	"configwall/internal/accel/opengemm"
+	"configwall/internal/dialects/accfg"
+	"configwall/internal/dialects/arith"
+	"configwall/internal/dialects/fnc"
+	"configwall/internal/dialects/memref"
+	"configwall/internal/dialects/scf"
+	"configwall/internal/ir"
+)
+
+// GemminiMaxTile is the largest output tile one gemmini_loop_ws invocation
+// covers: matrices up to GemminiMaxTile x GemminiMaxTile are a single
+// invocation (the paper notes sizes 32 and 64 need only one, §6.1).
+const GemminiMaxTile = 64
+
+// GemminiTiledMatmul builds C[n,n] = A[n,n] x B[n,n] (int8 inputs, int8
+// outputs) as a loop nest over GemminiMaxTile-sized output tiles, each tile
+// one weight-stationary invocation reducing over the full K dimension.
+//
+// The generated function has signature main(A, B, C: memref<nxn xi8>).
+func GemminiTiledMatmul(n int) (*ir.Module, error) {
+	if n%16 != 0 {
+		return nil, fmt.Errorf("workload: gemmini matmul size %d must be a multiple of 16", n)
+	}
+	tile := GemminiMaxTile
+	if n < tile {
+		tile = n
+	}
+
+	m := ir.NewModule()
+	bufT := ir.MemRef(ir.I8, n, n)
+	f := fnc.NewFunc("main", ir.FuncType([]ir.Type{bufT, bufT, bufT}, nil))
+	m.Append(f.Op)
+	b := ir.AtEnd(f.Body())
+
+	baseA := memref.NewExtractPointer(b, f.Body().Arg(0))
+	baseB := memref.NewExtractPointer(b, f.Body().Arg(1))
+	baseC := memref.NewExtractPointer(b, f.Body().Arg(2))
+	baseA.SetName("baseA")
+	baseB.SetName("baseB")
+	baseC.SetName("baseC")
+
+	tiles := n / tile
+	lb := arith.NewConstant(b, 0, ir.Index)
+	ub := arith.NewConstant(b, int64(tiles), ir.Index)
+	step := arith.NewConstant(b, 1, ir.Index)
+
+	outer := scf.NewFor(b, lb, ub, step) // ti: output row tiles
+	ob := ir.AtEnd(outer.Body())
+	inner := scf.NewFor(ob, lb, ub, step) // tj: output column tiles
+	ib := ir.AtEnd(inner.Body())
+
+	// Per-tile addresses: A advances by rows, B by columns, C by both.
+	ti := arith.NewIndexCast(ib, outer.InductionVar(), ir.I64)
+	tj := arith.NewIndexCast(ib, inner.InductionVar(), ir.I64)
+	cTile := arith.NewConstant(ib, int64(tile), ir.I64)
+	cN := arith.NewConstant(ib, int64(n), ir.I64)
+	rowOff := arith.NewMul(ib, arith.NewMul(ib, ti, cTile), cN)
+	colOff := arith.NewMul(ib, tj, cTile)
+	addrA := arith.NewAdd(ib, baseA, rowOff)
+	addrB := arith.NewAdd(ib, baseB, colOff)
+	addrC := arith.NewAdd(ib, arith.NewAdd(ib, baseC, rowOff), colOff)
+
+	iConst := arith.NewConstant(ib, int64(tile/16), ir.I64)
+	kConst := arith.NewConstant(ib, int64(n/16), ir.I64)
+	zero := arith.NewConstant(ib, 0, ir.I64)
+	one := arith.NewConstant(ib, 1, ir.I64)
+	strideVal := cN
+
+	setup := accfg.NewSetup(ib, gemmini.Name, nil, []accfg.Field{
+		{Name: "A", Value: addrA},
+		{Name: "B", Value: addrB},
+		{Name: "D", Value: zero},
+		{Name: "C", Value: addrC},
+		{Name: "I", Value: iConst},
+		{Name: "J", Value: iConst},
+		{Name: "K", Value: kConst},
+		{Name: "pad_I", Value: zero},
+		{Name: "pad_J", Value: zero},
+		{Name: "pad_K", Value: zero},
+		{Name: "stride_A", Value: strideVal},
+		{Name: "stride_B", Value: strideVal},
+		{Name: "stride_D", Value: zero},
+		{Name: "stride_C", Value: strideVal},
+		{Name: "act", Value: zero},
+		{Name: "A_transpose", Value: zero},
+		{Name: "B_transpose", Value: zero},
+		{Name: "full_C", Value: zero},
+		{Name: "low_D", Value: zero},
+		{Name: "ex_accumulate", Value: zero},
+		{Name: "acc_scale", Value: one},
+		{Name: "spad_A", Value: arith.NewConstant(ib, 0x0000, ir.I64)},
+		{Name: "spad_B", Value: arith.NewConstant(ib, 0x4000, ir.I64)},
+		{Name: "spad_D", Value: arith.NewConstant(ib, 0x8000, ir.I64)},
+		{Name: "spad_C", Value: arith.NewConstant(ib, 0xc000, ir.I64)},
+		{Name: "mvin0_rows", Value: iConst},
+		{Name: "mvin0_cols", Value: kConst},
+		{Name: "mvin0_stride", Value: strideVal},
+		{Name: "mvin1_rows", Value: kConst},
+		{Name: "mvin1_cols", Value: iConst},
+		{Name: "mvin1_stride", Value: strideVal},
+		{Name: "mvin2_rows", Value: iConst},
+		{Name: "mvin2_cols", Value: iConst},
+		{Name: "mvin2_stride", Value: strideVal},
+		{Name: "mvout_rows", Value: iConst},
+		{Name: "mvout_cols", Value: iConst},
+		{Name: "mvout_stride", Value: strideVal},
+	})
+	launch := accfg.NewLaunch(ib, setup.State())
+	accfg.NewAwait(ib, launch.Token())
+
+	scf.NewYield(ib)
+	scf.NewYield(ob)
+	fnc.NewReturn(b)
+
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("workload: generated gemmini matmul invalid: %w", err)
+	}
+	return m, nil
+}
+
+// OpenGeMMTiledMatmul builds C[n,n] (int32) = A[n,n] x B[n,n] (int8) as a
+// loop nest over MeshRow x MeshCol output tiles, each launch reducing over
+// the full K dimension — the paper's 8-by-K-by-8 tiling (§6.2).
+//
+// The generated function has signature
+// main(A, B: memref<nxn xi8>, C: memref<nxn xi32>).
+func OpenGeMMTiledMatmul(n int) (*ir.Module, error) {
+	if n%8 != 0 {
+		return nil, fmt.Errorf("workload: opengemm matmul size %d must be a multiple of 8", n)
+	}
+	m := ir.NewModule()
+	inT := ir.MemRef(ir.I8, n, n)
+	outT := ir.MemRef(ir.I32, n, n)
+	f := fnc.NewFunc("main", ir.FuncType([]ir.Type{inT, inT, outT}, nil))
+	m.Append(f.Op)
+	b := ir.AtEnd(f.Body())
+
+	baseA := memref.NewExtractPointer(b, f.Body().Arg(0))
+	baseB := memref.NewExtractPointer(b, f.Body().Arg(1))
+	baseC := memref.NewExtractPointer(b, f.Body().Arg(2))
+
+	tiles := n / 8
+	lb := arith.NewConstant(b, 0, ir.Index)
+	ub := arith.NewConstant(b, int64(tiles), ir.Index)
+	step := arith.NewConstant(b, 1, ir.Index)
+
+	outer := scf.NewFor(b, lb, ub, step) // ti: output row tiles
+	ob := ir.AtEnd(outer.Body())
+	inner := scf.NewFor(ob, lb, ub, step) // tj: output column tiles
+	ib := ir.AtEnd(inner.Body())
+
+	ti := arith.NewIndexCast(ib, outer.InductionVar(), ir.I64)
+	tj := arith.NewIndexCast(ib, inner.InductionVar(), ir.I64)
+	c8 := arith.NewConstant(ib, 8, ir.I64)
+	cN := arith.NewConstant(ib, int64(n), ir.I64)
+	c4 := arith.NewConstant(ib, 4, ir.I64)
+
+	rowElems := arith.NewMul(ib, arith.NewMul(ib, ti, c8), cN)
+	ptrA := arith.NewAdd(ib, baseA, rowElems)
+	ptrB := arith.NewAdd(ib, baseB, arith.NewMul(ib, tj, c8))
+	cOff := arith.NewMul(ib, arith.NewAdd(ib, rowElems, arith.NewMul(ib, tj, c8)), c4)
+	ptrC := arith.NewAdd(ib, baseC, cOff)
+
+	oneT := arith.NewConstant(ib, 1, ir.I64)
+	kTiles := arith.NewConstant(ib, int64(n/8), ir.I64)
+	strideIn := cN
+	strideOut := arith.NewMul(ib, cN, c4)
+	zero := arith.NewConstant(ib, 0, ir.I64)
+
+	setup := accfg.NewSetup(ib, opengemm.Name, nil, []accfg.Field{
+		{Name: "ptr_a", Value: ptrA},
+		{Name: "ptr_b", Value: ptrB},
+		{Name: "ptr_c", Value: ptrC},
+		{Name: "m", Value: oneT},
+		{Name: "k", Value: kTiles},
+		{Name: "n", Value: oneT},
+		{Name: "stride_a", Value: strideIn},
+		{Name: "stride_b", Value: strideIn},
+		{Name: "stride_c", Value: strideOut},
+		{Name: "subtractions", Value: zero},
+		{Name: "flags", Value: zero},
+	})
+	launch := accfg.NewLaunch(ib, setup.State())
+	accfg.NewAwait(ib, launch.Token())
+
+	scf.NewYield(ib)
+	scf.NewYield(ob)
+	fnc.NewReturn(b)
+
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("workload: generated opengemm matmul invalid: %w", err)
+	}
+	return m, nil
+}
