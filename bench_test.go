@@ -20,7 +20,9 @@ import (
 	"configwall"
 	"configwall/internal/accel/gemmini"
 	"configwall/internal/core"
+	"configwall/internal/ir"
 	"configwall/internal/roofline"
+	"configwall/internal/workload"
 )
 
 // runOnce executes one experiment per benchmark iteration and reports the
@@ -221,11 +223,11 @@ func BenchmarkAblationSchemeGap_64(b *testing.B) {
 	b.ReportMetric(all.OpsPerCycle()/dedupOnly.OpsPerCycle(), "concurrency_gain")
 }
 
-// Compiler-side microbenchmarks: pipeline cost itself.
-func BenchmarkCompile_OpenGeMM_All_64(b *testing.B) {
-	t := configwall.OpenGeMMTarget()
+// Compiler-side microbenchmarks: pipeline cost itself (IR build + passes
+// only — input-matrix setup is simulation cost and stays out of the loop).
+func benchCompile(b *testing.B, t configwall.Target, build func(n int) (*ir.Module, error)) {
 	for i := 0; i < b.N; i++ {
-		m, err := t.BuildMatmul(64)
+		m, err := build(64)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -235,17 +237,87 @@ func BenchmarkCompile_OpenGeMM_All_64(b *testing.B) {
 	}
 }
 
+func BenchmarkCompile_OpenGeMM_All_64(b *testing.B) {
+	benchCompile(b, configwall.OpenGeMMTarget(), workload.OpenGeMMTiledMatmul)
+}
+
 func BenchmarkCompile_Gemmini_All_64(b *testing.B) {
-	t := configwall.GemminiTarget()
+	benchCompile(b, configwall.GemminiTarget(), workload.GemminiTiledMatmul)
+}
+
+// --- Registry workloads beyond the paper's square matmul ---
+
+// benchWorkload measures one registered workload cell through the registry
+// path (DESIGN.md §3).
+func benchWorkload(b *testing.B, target, workloadName string, n int) {
+	var res configwall.Result
+	var err error
 	for i := 0; i < b.N; i++ {
-		m, err := t.BuildMatmul(64)
+		res, err = configwall.RunExperiment(configwall.Experiment{
+			Target: target, Workload: workloadName,
+			Pipeline: configwall.AllOptimizations, N: n,
+		}, configwall.RunOptions{SkipVerify: true})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := t.PassPipeline(configwall.AllOptimizations).Run(m); err != nil {
+	}
+	b.ReportMetric(res.OpsPerCycle(), "ops/cycle")
+	b.ReportMetric(float64(res.ConfigBytes), "cfgB")
+}
+
+func BenchmarkWorkload_RectMM_Gemmini_64(b *testing.B) {
+	benchWorkload(b, "gemmini", configwall.WorkloadRectMM, 64)
+}
+func BenchmarkWorkload_RectMM_OpenGeMM_64(b *testing.B) {
+	benchWorkload(b, "opengemm", configwall.WorkloadRectMM, 64)
+}
+func BenchmarkWorkload_Matvec_Gemmini_64(b *testing.B) {
+	benchWorkload(b, "gemmini", configwall.WorkloadMatvec, 64)
+}
+func BenchmarkWorkload_Matvec_OpenGeMM_64(b *testing.B) {
+	benchWorkload(b, "opengemm", configwall.WorkloadMatvec, 64)
+}
+
+// --- Runner benchmarks (DESIGN.md §3): sweep wall time, serial vs ---
+// concurrent, plus the cache hit path.
+
+func sweepForBench() []configwall.Experiment {
+	return configwall.SweepExperiments(
+		configwall.TargetNames(),
+		[]string{configwall.WorkloadMatmul},
+		configwall.Pipelines,
+		[]int{16, 32, 64},
+	)
+}
+
+func benchSweep(b *testing.B, workers int) {
+	exps := sweepForBench()
+	for i := 0; i < b.N; i++ {
+		// A fresh runner per iteration: this measures real compile+simulate
+		// throughput, not cache hits.
+		if _, err := configwall.NewRunner(workers).RunAll(exps, configwall.RunOptions{SkipVerify: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(len(exps)), "experiments")
+}
+
+func BenchmarkSweep_Serial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweep_Parallel(b *testing.B) { benchSweep(b, 0) }
+
+func BenchmarkSweep_CacheHit(b *testing.B) {
+	exps := sweepForBench()
+	r := configwall.NewRunner(0)
+	if _, err := r.RunAll(exps, configwall.RunOptions{SkipVerify: true}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunAll(exps, configwall.RunOptions{SkipVerify: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(exps)), "experiments")
 }
 
 // Sanity: the benchmark harness prints a one-line summary when verbose.

@@ -5,6 +5,11 @@
 //	cwbench -only fig11      # one artifact: table1, fig3, fig4, fig5,
 //	                         # example46, fig7, fig10, fig11, fig12
 //	cwbench -sizes 16,32,64  # override the size sweep
+//	cwbench -workers 8       # experiment worker-pool bound (0 = all cores)
+//
+// All experiment cells run on one shared concurrent runner, so artifacts
+// that revisit a cell (Figure 11 and Figure 12 share their base/all cells)
+// never recompile it, and output is byte-identical to a serial run.
 package main
 
 import (
@@ -19,99 +24,137 @@ import (
 	"configwall/internal/roofline"
 )
 
+// artifact is one regenerable table/figure; run renders it to stdout.
+type artifact struct {
+	name  string
+	title string
+	run   func(b *bench) error
+}
+
+// bench carries the shared state of one cwbench invocation.
+type bench struct {
+	runner *core.Runner
+	sizes  []int // overrides the per-figure defaults when non-empty
+}
+
+func (b *bench) pick(def []int) []int {
+	if len(b.sizes) > 0 {
+		return b.sizes
+	}
+	return def
+}
+
+// artifacts lists every artifact in presentation order; -only matches on
+// name, and unknown names report this list.
+var artifacts = []artifact{
+	{"table1", "Table 1: fields of the gemmini_loop_ws sequence", func(*bench) error {
+		fmt.Print(gemmini.Table1())
+		return nil
+	}},
+	{"fig3", "Figure 3: processor roofline", func(*bench) error {
+		m := roofline.Model{Name: "generic", PeakOps: 512, BWConfig: 1, BWMemory: 16}
+		fmt.Println("P_attainable = min(peak, BW_memory x I_operational)")
+		for _, iop := range []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128} {
+			fmt.Printf("  I_op = %6.1f ops/B -> %6.1f ops/cycle\n", iop, roofline.Processor(m.PeakOps, m.BWMemory, iop))
+		}
+		return nil
+	}},
+	{"fig4", "", func(*bench) error {
+		g, err := core.LookupTarget("gemmini")
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFigure4(g.RooflineModel()))
+		return nil
+	}},
+	{"fig5", "", func(*bench) error {
+		o, err := core.LookupTarget("opengemm")
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFigure5(o.RooflineModel(), 8))
+		return nil
+	}},
+	{"example46", "", func(*bench) error {
+		fmt.Print(core.RenderSection46())
+		return nil
+	}},
+	{"fig7", "Figure 2/7: execution timelines before/after optimization", func(*bench) error {
+		o, err := core.LookupTarget("opengemm")
+		if err != nil {
+			return err
+		}
+		out, err := core.RenderTimelines(o, 32, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}},
+	{"fig10", "", func(b *bench) error {
+		rows, err := core.Figure10With(b.runner, b.pick(core.Figure10Sizes), core.RunOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFigure10(rows))
+		return nil
+	}},
+	{"fig11", "", func(b *bench) error {
+		rows, err := core.Figure11With(b.runner, b.pick(core.Figure11Sizes), core.RunOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFigure11(rows))
+		return nil
+	}},
+	{"fig12", "", func(b *bench) error {
+		data, err := core.Figure12With(b.runner, b.pick(core.Figure12Sizes), core.RunOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFigure12(data))
+		return nil
+	}},
+}
+
+func artifactNames() []string {
+	names := make([]string, len(artifacts))
+	for i, a := range artifacts {
+		names[i] = a.name
+	}
+	return names
+}
+
 func main() {
-	only := flag.String("only", "", "run a single artifact (table1|fig3|fig4|fig5|example46|fig7|fig10|fig11|fig12)")
+	only := flag.String("only", "", "run a single artifact ("+strings.Join(artifactNames(), "|")+")")
 	sizes := flag.String("sizes", "", "comma-separated matrix sizes overriding the per-figure defaults")
+	workers := flag.Int("workers", 0, "experiment worker-pool bound (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	var override []int
+	b := &bench{runner: core.NewRunner(*workers)}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil {
 				fatal("bad -sizes value %q: %v", s, err)
 			}
-			override = append(override, n)
+			b.sizes = append(b.sizes, n)
 		}
-	}
-	pick := func(def []int) []int {
-		if len(override) > 0 {
-			return override
-		}
-		return def
 	}
 
-	want := func(name string) bool { return *only == "" || *only == name }
 	ran := false
-
-	if want("table1") {
-		ran = true
-		section("Table 1: fields of the gemmini_loop_ws sequence")
-		fmt.Print(gemmini.Table1())
-	}
-	if want("fig3") {
-		ran = true
-		section("Figure 3: processor roofline")
-		m := roofline.Model{Name: "generic", PeakOps: 512, BWConfig: 1, BWMemory: 16}
-		fmt.Println("P_attainable = min(peak, BW_memory x I_operational)")
-		for _, iop := range []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128} {
-			fmt.Printf("  I_op = %6.1f ops/B -> %6.1f ops/cycle\n", iop, roofline.Processor(m.PeakOps, m.BWMemory, iop))
+	for _, a := range artifacts {
+		if *only != "" && *only != a.name {
+			continue
 		}
-	}
-	if want("fig4") {
 		ran = true
-		section("")
-		g := core.GemminiTarget().RooflineModel()
-		fmt.Print(core.RenderFigure4(g))
-	}
-	if want("fig5") {
-		ran = true
-		section("")
-		fmt.Print(core.RenderFigure5(core.OpenGeMMTarget().RooflineModel(), 8))
-	}
-	if want("example46") {
-		ran = true
-		section("")
-		fmt.Print(core.RenderSection46())
-	}
-	if want("fig7") {
-		ran = true
-		section("Figure 2/7: execution timelines before/after optimization")
-		out, err := core.RenderTimelines(core.OpenGeMMTarget(), 32, 100)
-		if err != nil {
-			fatal("fig7: %v", err)
+		section(a.title)
+		if err := a.run(b); err != nil {
+			fatal("%s: %v", a.name, err)
 		}
-		fmt.Print(out)
-	}
-	if want("fig10") {
-		ran = true
-		section("")
-		rows, err := core.Figure10(pick(core.Figure10Sizes), core.RunOptions{})
-		if err != nil {
-			fatal("fig10: %v", err)
-		}
-		fmt.Print(core.RenderFigure10(rows))
-	}
-	if want("fig11") {
-		ran = true
-		section("")
-		rows, err := core.Figure11(pick(core.Figure11Sizes), core.RunOptions{})
-		if err != nil {
-			fatal("fig11: %v", err)
-		}
-		fmt.Print(core.RenderFigure11(rows))
-	}
-	if want("fig12") {
-		ran = true
-		section("")
-		data, err := core.Figure12(pick(core.Figure12Sizes), core.RunOptions{})
-		if err != nil {
-			fatal("fig12: %v", err)
-		}
-		fmt.Print(core.RenderFigure12(data))
 	}
 	if !ran {
-		fatal("unknown artifact %q (want table1|fig3|fig4|fig5|example46|fig7|fig10|fig11|fig12)", *only)
+		fatal("unknown artifact %q (valid artifacts: %s)", *only, strings.Join(artifactNames(), ", "))
 	}
 }
 

@@ -23,8 +23,8 @@ import (
 	_ "configwall/internal/dialects/rocc"
 	_ "configwall/internal/dialects/scf"
 
+	"configwall/internal/core"
 	"configwall/internal/ir"
-	"configwall/internal/lower"
 	"configwall/internal/passes"
 )
 
@@ -44,8 +44,20 @@ var available = map[string]func() ir.Pass{
 	"accfg-merge-setups":                passes.MergeSetups,
 	"accfg-remove-empty-setups":         passes.RemoveEmptySetups,
 	"accfg-overlap":                     func() ir.Pass { return passes.Overlap(func(string) bool { return true }) },
-	"lower-accfg-to-gemmini":            lower.AccfgToGemmini,
-	"lower-accfg-to-opengemm":           lower.AccfgToOpenGeMM,
+}
+
+// init adds one lower-accfg-to-<target> entry per target registered by the
+// packages this driver links in (the built-ins, plus anything an imported
+// package registers at init). Out-of-tree targets need an import added
+// here to appear, since they register from their own main.
+func init() {
+	for _, name := range core.TargetNames() {
+		t, err := core.LookupTarget(name)
+		if err != nil || t.Lowering == nil {
+			continue
+		}
+		available["lower-accfg-to-"+name] = t.Lowering
+	}
 }
 
 func main() {

@@ -1,15 +1,20 @@
-// Command cwsim compiles one tiled-matmul workload and runs it on the
+// Command cwsim compiles one registered workload and runs it on the
 // co-simulator, printing the measured counters, the roofline position and
 // optionally the execution timeline or the generated assembly:
 //
 //	cwsim -target opengemm -pipeline all -n 64 -timeline
-//	cwsim -target gemmini -pipeline base -n 128 -asm
+//	cwsim -target gemmini -workload rectmm -pipeline base -n 128 -asm
+//	cwsim -list
+//
+// Targets and workloads resolve through the experiment registry, so
+// platforms registered by external code are addressable by name.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"configwall/internal/codegen"
 	"configwall/internal/core"
@@ -18,54 +23,59 @@ import (
 )
 
 func main() {
-	targetName := flag.String("target", "opengemm", "accelerator platform: gemmini | opengemm")
+	targetName := flag.String("target", "opengemm", "accelerator platform ("+strings.Join(core.TargetNames(), "|")+")")
+	workloadName := flag.String("workload", core.WorkloadMatmul, "workload ("+strings.Join(core.WorkloadNames(), "|")+")")
 	pipelineName := flag.String("pipeline", "all", "pipeline: base | dedup | overlap | all")
-	n := flag.Int("n", 64, "square matrix size")
+	n := flag.Int("n", 64, "workload sweep size")
 	timeline := flag.Bool("timeline", false, "print the execution timeline (Figure 7 style)")
 	width := flag.Int("timeline-width", 100, "timeline width in characters")
 	asm := flag.Bool("asm", false, "print the compiled host program")
 	irDump := flag.Bool("ir", false, "print the optimized IR before codegen")
 	stats := flag.Bool("stats", false, "print per-pass statistics")
+	list := flag.Bool("list", false, "list registered targets and workloads")
 	flag.Parse()
 
-	var target core.Target
-	switch *targetName {
-	case "gemmini":
-		target = core.GemminiTarget()
-	case "opengemm":
-		target = core.OpenGeMMTarget()
-	default:
-		fatal("unknown target %q", *targetName)
+	if *list {
+		fmt.Println("targets:")
+		for _, name := range core.TargetNames() {
+			t, _ := core.LookupTarget(name)
+			fmt.Printf("  %-12s %s configuration, %g ops/cycle peak\n", name, scheme(t), t.PeakOps)
+		}
+		fmt.Println("workloads:")
+		for _, name := range core.WorkloadNames() {
+			w, _ := core.LookupWorkload(name)
+			fmt.Printf("  %-12s %s\n", name, w.Description)
+		}
+		return
 	}
 
-	var pipeline core.Pipeline
-	switch *pipelineName {
-	case "base":
-		pipeline = core.Baseline
-	case "dedup":
-		pipeline = core.DedupOnly
-	case "overlap":
-		pipeline = core.OverlapOnly
-	case "all":
-		pipeline = core.AllOptimizations
-	default:
-		fatal("unknown pipeline %q", *pipelineName)
+	target, err := core.LookupTarget(*targetName)
+	if err != nil {
+		fatal("%v", err)
+	}
+	wl, err := core.LookupWorkload(*workloadName)
+	if err != nil {
+		fatal("%v", err)
+	}
+	pipeline, err := core.PipelineByName(*pipelineName)
+	if err != nil {
+		fatal("%v", err)
 	}
 
 	if *asm || *irDump {
-		m, err := target.BuildMatmul(*n)
+		inst, err := wl.Build(target, *n)
 		if err != nil {
 			fatal("%v", err)
 		}
 		pm := target.PassPipeline(pipeline)
-		if err := pm.Run(m); err != nil {
+		if err := pm.Run(inst.Module); err != nil {
 			fatal("%v", err)
 		}
 		if *irDump {
-			fmt.Print(ir.PrintModule(m))
+			fmt.Print(ir.PrintModule(inst.Module))
 		}
 		if *asm {
-			prog, _, err := codegen.Compile(m, "main", codegen.Options{StaticBase: 32 << 20})
+			prog, _, err := codegen.Compile(inst.Module, "main", codegen.Options{StaticBase: 32 << 20})
 			if err != nil {
 				fatal("%v", err)
 			}
@@ -74,13 +84,14 @@ func main() {
 		return
 	}
 
-	res, err := core.RunTiledMatmul(target, pipeline, *n, core.RunOptions{RecordTrace: *timeline})
+	res, err := core.Run(target, wl, pipeline, *n, core.RunOptions{RecordTrace: *timeline})
 	if err != nil {
 		fatal("%v", err)
 	}
 	fmt.Printf("target            %s (%s configuration)\n", res.Target, scheme(target))
+	fmt.Printf("workload          %s\n", res.Workload)
 	fmt.Printf("pipeline          %s\n", res.Pipeline)
-	fmt.Printf("matrix size       %d x %d (ops = %d)\n", res.N, res.N, res.AccelOps)
+	fmt.Printf("sweep size        %d (ops = %d)\n", res.N, res.AccelOps)
 	fmt.Printf("total cycles      %d\n", res.Cycles)
 	fmt.Printf("performance       %.1f ops/cycle (%.1f%% of %g peak)\n", res.OpsPerCycle(), 100*res.Utilization(), res.PeakOps)
 	fmt.Printf("host instructions %d (%d configuration writes)\n", res.HostInstrs, res.ConfigInstrs)

@@ -22,6 +22,17 @@
 //	if err != nil { ... }
 //	fmt.Printf("%.1f ops/cycle (%.0f%% of peak)\n", res.OpsPerCycle(), 100*res.Utilization())
 //
+// Sweeps should go through the registry and the concurrent runner: targets
+// and workloads are registered by name, experiments key one (target,
+// workload, pipeline, n) cell, and a Runner executes batches on a bounded
+// worker pool with a per-cell cache and deterministic result ordering:
+//
+//	r := configwall.NewRunner(0) // 0 = GOMAXPROCS workers
+//	exps := configwall.SweepExperiments(
+//		configwall.TargetNames(), []string{configwall.WorkloadMatmul},
+//		configwall.Pipelines, []int{16, 32, 64})
+//	results, err := r.RunAll(exps, configwall.RunOptions{})
+//
 // See the examples/ directory for complete programs and DESIGN.md for the
 // per-experiment index.
 package configwall
@@ -74,6 +85,75 @@ func OpenGeMMTarget() Target { return core.OpenGeMMTarget() }
 // against a golden CPU matmul, and returns the measurements.
 func RunTiledMatmul(t Target, p Pipeline, n int, opts RunOptions) (Result, error) {
 	return core.RunTiledMatmul(t, p, n, opts)
+}
+
+// Workload is a registered kernel family parameterized by sweep size.
+type Workload = core.Workload
+
+// Instance is one concrete (workload, target, size) build: the IR module
+// plus the buffer plan the engine executes and verifies.
+type Instance = core.Instance
+
+// Buffer is one function-argument buffer of a workload instance.
+type Buffer = core.Buffer
+
+// Built-in workload names.
+const (
+	// WorkloadMatmul is the paper's square n x n x n tiled matmul.
+	WorkloadMatmul = core.WorkloadMatmul
+	// WorkloadRectMM is the rectangular n x 2n x n/2 tiled matmul.
+	WorkloadRectMM = core.WorkloadRectMM
+	// WorkloadMatvec is the matrix-vector proxy (n x n x 16 panel).
+	WorkloadMatvec = core.WorkloadMatvec
+)
+
+// RegisterTarget adds an accelerator platform to the registry; duplicate
+// names are an error. Registered targets are addressable by name in
+// Experiments without touching the engine.
+func RegisterTarget(t Target) error { return core.RegisterTarget(t) }
+
+// LookupTarget resolves a registered target by name.
+func LookupTarget(name string) (Target, error) { return core.LookupTarget(name) }
+
+// TargetNames lists the registered targets, sorted.
+func TargetNames() []string { return core.TargetNames() }
+
+// RegisterWorkload adds a workload to the registry; duplicate names are an
+// error.
+func RegisterWorkload(w Workload) error { return core.RegisterWorkload(w) }
+
+// LookupWorkload resolves a registered workload by name.
+func LookupWorkload(name string) (Workload, error) { return core.LookupWorkload(name) }
+
+// WorkloadNames lists the registered workloads, sorted.
+func WorkloadNames() []string { return core.WorkloadNames() }
+
+// Experiment keys one cell of the evaluation sweep by registry names.
+type Experiment = core.Experiment
+
+// Runner executes experiments on a bounded worker pool with a
+// per-experiment result cache and deterministic (input-order) results.
+type Runner = core.Runner
+
+// NewRunner returns a runner with the given worker bound (<= 0 selects
+// GOMAXPROCS).
+func NewRunner(workers int) *Runner { return core.NewRunner(workers) }
+
+// RunExperiment resolves an experiment through the registry and executes it
+// once, uncached.
+func RunExperiment(e Experiment, opts RunOptions) (Result, error) {
+	return core.RunExperiment(e, opts)
+}
+
+// RunWorkload compiles and simulates a registered workload for a target.
+func RunWorkload(t Target, w Workload, p Pipeline, n int, opts RunOptions) (Result, error) {
+	return core.Run(t, w, p, n, opts)
+}
+
+// SweepExperiments builds the cross product of targets, workloads,
+// pipelines and sizes in deterministic row-major order.
+func SweepExperiments(targets, workloads []string, pipelines []Pipeline, sizes []int) []Experiment {
+	return core.Sweep(targets, workloads, pipelines, sizes)
 }
 
 // RooflineModel is the paper's configuration roofline (§4).

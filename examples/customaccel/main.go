@@ -2,26 +2,28 @@
 // abstraction and all its optimization passes are target-agnostic — only
 // the final lowering and a device model are accelerator-specific. This
 // example brings up a brand-new CSR-configured vector-scale accelerator
-// ("scaler"), reusing the whole shared pipeline:
+// ("scaler") and plugs it into the experiment engine through the registry,
+// without touching any engine code:
 //
 //  1. define the device model (functional behavior + timing),
 //
-//  2. build accfg IR against its field names,
+//  2. write the ~30-line target lowering,
 //
-//  3. run the shared dedup/overlap passes,
+//  3. register the target and a "rowscale" workload (IR builder + buffer
+//     plan + golden verification),
 //
-//  4. write the ~30-line target lowering,
-//
-//  5. co-simulate and verify.
+//  4. sweep all four pipeline variants on the shared concurrent runner —
+//     the same compile/simulate/verify path the paper's figures use.
 //
 //     go run ./examples/customaccel
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"configwall/internal/accel"
-	"configwall/internal/codegen"
+	"configwall/internal/core"
 	"configwall/internal/dialects/accfg"
 	"configwall/internal/dialects/arith"
 	"configwall/internal/dialects/csrops"
@@ -31,9 +33,7 @@ import (
 	"configwall/internal/ir"
 	"configwall/internal/lower"
 	"configwall/internal/mem"
-	"configwall/internal/passes"
 	"configwall/internal/riscv"
-	"configwall/internal/sim"
 )
 
 // CSR map of the custom device.
@@ -49,6 +49,12 @@ const (
 var fieldCSRs = map[string]uint32{
 	"src": csrSrc, "dst": csrDst, "len": csrLen, "scale": csrScale,
 }
+
+// rowCols is the row width of the rowscale workload; scaleBy is the factor.
+const (
+	rowCols = 64
+	scaleBy = 3
+)
 
 // scaler multiplies a vector of int32 by a scalar: dst[i] = src[i] * scale.
 // It configures concurrently (staged CSRs) at 8 elements/cycle.
@@ -131,12 +137,29 @@ func lowerScaler() ir.Pass {
 	}
 }
 
-func main() {
-	const rows, cols = 16, 64
+// scalerTarget assembles the platform the same way core.GemminiTarget and
+// core.OpenGeMMTarget do — nothing here is special-cased by the engine.
+func scalerTarget() core.Target {
+	return core.Target{
+		Name:       "scaler",
+		Concurrent: true,
+		PeakOps:    8, // 8 elements/cycle, one multiply each
+		NewDevice:  func() accel.Device { return &scaler{staging: map[uint32]uint32{}} },
+		Cost:       riscv.SnitchCost(),
+		Lowering:   lowerScaler,
+		RawConfigBW: func(c riscv.CostModel) float64 {
+			perInstr := float64(c.Cycles(riscv.Instr{Op: riscv.CSRRW}))
+			return 4.0 / (2 * perInstr)
+		},
+		OutputBytes: 4,
+	}
+}
 
-	// A program that scales each row of a matrix by 3, one launch per row.
+// buildRowScale builds the workload IR: scale each of the n rows of a
+// matrix by scaleBy, one launch per row.
+func buildRowScale(rows int) (*ir.Module, error) {
 	m := ir.NewModule()
-	bufT := ir.MemRef(ir.I32, rows, cols)
+	bufT := ir.MemRef(ir.I32, rows, rowCols)
 	f := fnc.NewFunc("main", ir.FuncType([]ir.Type{bufT, bufT}, nil))
 	m.Append(f.Op)
 	b := ir.AtEnd(f.Body())
@@ -144,68 +167,104 @@ func main() {
 	dst := memref.NewExtractPointer(b, f.Body().Arg(1))
 
 	lb := arith.NewConstant(b, 0, ir.Index)
-	ub := arith.NewConstant(b, rows, ir.Index)
+	ub := arith.NewConstant(b, int64(rows), ir.Index)
 	step := arith.NewConstant(b, 1, ir.Index)
 	loop := scf.NewFor(b, lb, ub, step)
 	lbld := ir.AtEnd(loop.Body())
 	row := arith.NewIndexCast(lbld, loop.InductionVar(), ir.I64)
-	rowBytes := arith.NewMul(lbld, row, arith.NewConstant(lbld, cols*4, ir.I64))
+	rowBytes := arith.NewMul(lbld, row, arith.NewConstant(lbld, rowCols*4, ir.I64))
 	setup := accfg.NewSetup(lbld, "scaler", nil, []accfg.Field{
 		{Name: "src", Value: arith.NewAdd(lbld, src, rowBytes)},
 		{Name: "dst", Value: arith.NewAdd(lbld, dst, rowBytes)},
-		{Name: "len", Value: arith.NewConstant(lbld, cols, ir.I64)},
-		{Name: "scale", Value: arith.NewConstant(lbld, 3, ir.I64)},
+		{Name: "len", Value: arith.NewConstant(lbld, rowCols, ir.I64)},
+		{Name: "scale", Value: arith.NewConstant(lbld, scaleBy, ir.I64)},
 	})
 	launch := accfg.NewLaunch(lbld, setup.State())
 	accfg.NewAwait(lbld, launch.Token())
 	scf.NewYield(lbld)
 	fnc.NewReturn(b)
 
-	run := func(label string, pm *ir.PassManager) uint64 {
-		mc := m.Clone()
-		if err := pm.Run(mc); err != nil {
-			panic(err)
-		}
-		prog, _, err := codegen.Compile(mc, "main", codegen.Options{StaticBase: 8 << 20})
-		if err != nil {
-			panic(err)
-		}
-		memory := mem.New(16 << 20)
-		srcBase, dstBase := uint64(1<<20), uint64(2<<20)
-		for i := 0; i < rows*cols; i++ {
-			memory.Write32(srcBase+uint64(4*i), uint32(i))
-		}
-		machine := sim.NewMachine(memory, riscv.SnitchCost(), &scaler{staging: map[uint32]uint32{}})
-		machine.Regs[riscv.A0] = int64(srcBase)
-		machine.Regs[riscv.A0+1] = int64(dstBase)
-		machine.Regs[riscv.SP] = 12 << 20
-		if err := machine.Run(prog); err != nil {
-			panic(err)
-		}
-		for i := 0; i < rows*cols; i++ {
-			if got := int32(memory.Read32(dstBase + uint64(4*i))); got != int32(i)*3 {
-				panic(fmt.Sprintf("%s: dst[%d] = %d, want %d", label, i, got, int32(i)*3))
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("rowscale IR invalid: %w", err)
+	}
+	return m, nil
+}
+
+// rowScaleWorkload packages the IR builder, input initialization and golden
+// verification as a registered workload: the engine handles buffer
+// placement, codegen, simulation and the verify sweep.
+func rowScaleWorkload() core.Workload {
+	return core.Workload{
+		Name:        "rowscale",
+		Description: fmt.Sprintf("scale each row of an n x %d int32 matrix by %d, one launch per row", rowCols, scaleBy),
+		Build: func(t core.Target, n int) (core.Instance, error) {
+			if t.Name != "scaler" {
+				return core.Instance{}, fmt.Errorf("workload rowscale: no builder for target %q", t.Name)
 			}
-		}
-		fmt.Printf("%-22s %6d cycles  (%d config writes, verified)\n",
-			label, machine.Cycles, machine.ConfigInstrs)
-		return machine.Cycles
+			m, err := buildRowScale(n)
+			if err != nil {
+				return core.Instance{}, err
+			}
+			elems := n * rowCols
+			return core.Instance{
+				Module: m,
+				Buffers: []core.Buffer{
+					{
+						Bytes: uint64(4 * elems),
+						Init: func(mm *mem.Memory, base uint64) {
+							for i := 0; i < elems; i++ {
+								mm.Write32(base+uint64(4*i), uint32(i))
+							}
+						},
+					},
+					{
+						Bytes: uint64(4 * elems),
+						Verify: func(mm *mem.Memory, base uint64) error {
+							for i := 0; i < elems; i++ {
+								if got := int32(mm.Read32(base + uint64(4*i))); got != int32(i)*scaleBy {
+									return fmt.Errorf("dst[%d] = %d, want %d", i, got, int32(i)*scaleBy)
+								}
+							}
+							return nil
+						},
+					},
+				},
+			}, nil
+		},
+	}
+}
+
+func main() {
+	// Plug the new platform and kernel into the experiment registry; from
+	// here on they are addressable by name like the built-ins.
+	if err := core.RegisterTarget(scalerTarget()); err != nil {
+		fatal("%v", err)
+	}
+	if err := core.RegisterWorkload(rowScaleWorkload()); err != nil {
+		fatal("%v", err)
 	}
 
-	fmt.Println("custom 'scaler' accelerator, 16 launches of 64-element row scaling:")
-	base := run("baseline", ir.NewPassManager(lowerScaler()))
-	opt := run("dedup+overlap", ir.NewPassManager(
-		passes.Canonicalize(), passes.CSE(), passes.LICM(),
-		passes.TraceStates(),
-		passes.HoistLoopInvariantFields(),
-		passes.Dedup(),
-		passes.MergeSetups(),
-		passes.RemoveEmptySetups(),
-		passes.Overlap(func(a string) bool { return a == "scaler" }),
-		passes.Canonicalize(),
-		lowerScaler(),
-		passes.Canonicalize(), passes.CSE(),
-	))
-	fmt.Printf("\nspeedup: %.2fx — all shared passes reused; only the lowering (~30\n", float64(base)/float64(opt))
-	fmt.Println("lines) and the device model were written for this accelerator.")
+	const rows = 16
+	exps := core.Sweep([]string{"scaler"}, []string{"rowscale"}, core.Pipelines, []int{rows})
+	results, err := core.NewRunner(0).RunAll(exps, core.RunOptions{})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("custom 'scaler' accelerator, %d launches of %d-element row scaling\n", rows, rowCols)
+	fmt.Printf("(registered as target %q + workload %q; engine code untouched):\n\n", "scaler", "rowscale")
+	base := results[0]
+	for _, r := range results {
+		fmt.Printf("%-10s %6d cycles  (%d config writes, %d config bytes, verified=%v)\n",
+			r.Pipeline, r.Cycles, r.ConfigInstrs, r.ConfigBytes, r.Verified)
+	}
+	all := results[len(results)-1]
+	fmt.Printf("\nspeedup base -> all: %.2fx — every shared pass reused; only the\n",
+		float64(base.Cycles)/float64(all.Cycles))
+	fmt.Println("lowering (~30 lines), the device model and the workload plan were new.")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "customaccel: "+format+"\n", args...)
+	os.Exit(1)
 }

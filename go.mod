@@ -1,0 +1,3 @@
+module configwall
+
+go 1.24

@@ -1,12 +1,17 @@
 // Package core is the experiment engine: it assembles the paper's
-// compilation pipelines (Figure 8), compiles tiled-matmul workloads for a
-// target, runs them on the co-simulator, verifies results against the
-// golden CPU matmul, and extracts the measurements behind every figure of
-// the evaluation section.
+// compilation pipelines (Figure 8), compiles registered workloads for
+// registered targets, runs them on the co-simulator, verifies results
+// against the golden CPU models, and extracts the measurements behind every
+// figure of the evaluation section.
+//
+// The engine itself is target- and workload-agnostic: platforms and kernels
+// plug in through the registry (registry.go), and sweeps execute on the
+// concurrent runner (runner.go).
 package core
 
 import (
 	"fmt"
+	"strings"
 
 	"configwall/internal/accel"
 	"configwall/internal/accel/gemmini"
@@ -57,6 +62,18 @@ func (p Pipeline) String() string {
 // Pipelines lists all variants in presentation order.
 var Pipelines = []Pipeline{Baseline, DedupOnly, OverlapOnly, AllOptimizations}
 
+// PipelineByName returns the pipeline with the given String() name.
+func PipelineByName(name string) (Pipeline, error) {
+	valid := make([]string, len(Pipelines))
+	for i, p := range Pipelines {
+		if p.String() == name {
+			return p, nil
+		}
+		valid[i] = p.String()
+	}
+	return Baseline, fmt.Errorf("unknown pipeline %q (want %s)", name, strings.Join(valid, "|"))
+}
+
 // Target bundles everything needed to compile for and simulate one
 // accelerator platform.
 type Target struct {
@@ -73,9 +90,18 @@ type Target struct {
 	Cost riscv.CostModel
 	// Lowering builds the accfg-to-target lowering pass.
 	Lowering func() ir.Pass
-	// BuildMatmul builds the tiled matmul workload for size n.
-	BuildMatmul func(n int) (*ir.Module, error)
-	// OutputBytes is the size of one C element (1 for int8, 4 for int32).
+	// RawConfigBW computes the raw configuration bandwidth in bytes/cycle
+	// from the host cost model (nil defaults to 1 B/cycle). It feeds the
+	// analytical roofline, the way the paper derives Gemmini's ~1.77
+	// B/cycle in §4.6.
+	RawConfigBW func(c riscv.CostModel) float64
+	// MatmulMKN optionally builds the target's C[M,N] = A[M,K] x B[K,N]
+	// tiled-matmul IR. A target that provides it joins every built-in
+	// matmul-family workload (matmul, rectmm, matvec) without further
+	// registration.
+	MatmulMKN func(mDim, kDim, nDim int) (*ir.Module, error)
+	// OutputBytes is the size of one output element the accelerator
+	// stores (1 for int8, 4 for int32); workload builders consult it.
 	OutputBytes int
 }
 
@@ -84,13 +110,19 @@ type Target struct {
 // (paper §4.6, §6.1).
 func GemminiTarget() Target {
 	return Target{
-		Name:        gemmini.Name,
-		Concurrent:  false,
-		PeakOps:     gemmini.PeakOpsPerCycle,
-		NewDevice:   func() accel.Device { return gemmini.New(gemmini.DefaultCost()) },
-		Cost:        riscv.RocketCost(),
-		Lowering:    lower.AccfgToGemmini,
-		BuildMatmul: workload.GemminiTiledMatmul,
+		Name:       gemmini.Name,
+		Concurrent: false,
+		PeakOps:    gemmini.PeakOpsPerCycle,
+		NewDevice:  func() accel.Device { return gemmini.New(gemmini.DefaultCost()) },
+		Cost:       riscv.RocketCost(),
+		Lowering:   lower.AccfgToGemmini,
+		MatmulMKN:  workload.GemminiTiledMatmulMKN,
+		RawConfigBW: func(c riscv.CostModel) float64 {
+			// 16 bytes per RoCC instruction; ~3 instructions (2 register
+			// loads + 1 custom) at the host CPI.
+			perInstr := float64(c.Cycles(riscv.Instr{Op: riscv.CUSTOM}))
+			return 16.0 / (3 * perInstr)
+		},
 		OutputBytes: 1,
 	}
 }
@@ -99,13 +131,19 @@ func GemminiTarget() Target {
 // configuration, 1024 ops/cycle, tiny in-order host (paper §6.2).
 func OpenGeMMTarget() Target {
 	return Target{
-		Name:        opengemm.Name,
-		Concurrent:  true,
-		PeakOps:     opengemm.PeakOpsPerCycle,
-		NewDevice:   func() accel.Device { return opengemm.New(opengemm.DefaultCost()) },
-		Cost:        riscv.SnitchCost(),
-		Lowering:    lower.AccfgToOpenGeMM,
-		BuildMatmul: workload.OpenGeMMTiledMatmul,
+		Name:       opengemm.Name,
+		Concurrent: true,
+		PeakOps:    opengemm.PeakOpsPerCycle,
+		NewDevice:  func() accel.Device { return opengemm.New(opengemm.DefaultCost()) },
+		Cost:       riscv.SnitchCost(),
+		Lowering:   lower.AccfgToOpenGeMM,
+		MatmulMKN:  workload.OpenGeMMTiledMatmulMKN,
+		RawConfigBW: func(c riscv.CostModel) float64 {
+			// 4 bytes per CSR write; ~2 instructions (1 value setup + 1
+			// csrw).
+			perInstr := float64(c.Cycles(riscv.Instr{Op: riscv.CSRRW}))
+			return 4.0 / (2 * perInstr)
+		},
 		OutputBytes: 4,
 	}
 }
@@ -167,10 +205,11 @@ func (t Target) PassPipeline(p Pipeline) *ir.PassManager {
 // Result captures one experiment run.
 type Result struct {
 	Target   string
+	Workload string
 	Pipeline Pipeline
 	N        int
 	sim.Counters
-	// Verified confirms the simulated output matched the golden matmul.
+	// Verified confirms the simulated output matched the golden model.
 	Verified bool
 	// ProgramInstrs is the static size of the compiled program.
 	ProgramInstrs int
@@ -211,111 +250,97 @@ const (
 
 // RunTiledMatmul compiles the n x n tiled matmul for the target under the
 // given pipeline, simulates it, verifies the result, and returns the
-// measurements.
+// measurements. It is the square-matmul convenience wrapper around Run.
 func RunTiledMatmul(t Target, p Pipeline, n int, opts RunOptions) (Result, error) {
-	res := Result{Target: t.Name, Pipeline: p, N: n, PeakOps: t.PeakOps}
+	w, err := LookupWorkload(WorkloadMatmul)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(t, w, p, n, opts)
+}
 
-	m, err := t.BuildMatmul(n)
+// Run compiles the workload at size n for the target under the given
+// pipeline, simulates it, verifies every checked buffer against the golden
+// model, and returns the measurements. It is the engine's single
+// experiment primitive; sweeps should go through Runner.
+func Run(t Target, w Workload, p Pipeline, n int, opts RunOptions) (Result, error) {
+	res := Result{Target: t.Name, Workload: w.Name, Pipeline: p, N: n, PeakOps: t.PeakOps}
+
+	inst, err := w.Build(t, n)
 	if err != nil {
 		return res, err
 	}
 	pm := t.PassPipeline(p)
-	if err := pm.Run(m); err != nil {
-		return res, fmt.Errorf("pipeline %s on %s/%d: %w", p, t.Name, n, err)
+	if err := pm.Run(inst.Module); err != nil {
+		return res, fmt.Errorf("pipeline %s on %s/%s/%d: %w", p, t.Name, w.Name, n, err)
 	}
 	res.PassStats = pm.Stats
 
-	// Place A, B, C contiguously from bufferBase; static allocs after.
-	aBase := uint64(bufferBase)
-	bBase := aBase + uint64(n*n)
-	cBase := bBase + uint64(n*n)
-	staticBase := cBase + uint64(n*n*t.OutputBytes)
+	// Place the buffers contiguously from bufferBase; static allocs after.
+	bases := make([]uint64, len(inst.Buffers))
+	next := uint64(bufferBase)
+	for i, buf := range inst.Buffers {
+		bases[i] = next
+		next += buf.Bytes
+	}
+	staticBase := next
+	if staticBase >= stackBase {
+		return res, fmt.Errorf("workload %s/%d: buffers exceed simulated memory", w.Name, n)
+	}
 
-	prog, _, err := codegen.Compile(m, "main", codegen.Options{StaticBase: staticBase})
+	prog, _, err := codegen.Compile(inst.Module, "main", codegen.Options{StaticBase: staticBase})
 	if err != nil {
-		return res, fmt.Errorf("codegen for %s/%d: %w", t.Name, n, err)
+		return res, fmt.Errorf("codegen for %s/%s/%d: %w", t.Name, w.Name, n, err)
 	}
 	res.ProgramInstrs = len(prog.Instrs)
 
 	memory := mem.New(memorySize)
-	a := make([]int8, n*n)
-	b := make([]int8, n*n)
-	workload.FillMatrix(a, n, 1)
-	workload.FillMatrix(b, n, 2)
-	for i, v := range a {
-		memory.Write8(aBase+uint64(i), uint8(v))
-	}
-	for i, v := range b {
-		memory.Write8(bBase+uint64(i), uint8(v))
+	for i, buf := range inst.Buffers {
+		if buf.Init != nil {
+			buf.Init(memory, bases[i])
+		}
 	}
 	memory.ResetCounters()
 
 	mc := sim.NewMachine(memory, t.Cost, t.NewDevice())
 	mc.RecordTrace = opts.RecordTrace
-	mc.Regs[riscv.A0] = int64(aBase)
-	mc.Regs[riscv.A0+1] = int64(bBase)
-	mc.Regs[riscv.A0+2] = int64(cBase)
+	for i := range inst.Buffers {
+		mc.Regs[riscv.A0+riscv.Reg(i)] = int64(bases[i])
+	}
 	mc.Regs[riscv.SP] = stackBase
 	if err := mc.Run(prog); err != nil {
-		return res, fmt.Errorf("simulation of %s/%s/%d: %w", t.Name, p, n, err)
+		return res, fmt.Errorf("simulation of %s/%s/%s/%d: %w", t.Name, w.Name, p, n, err)
 	}
 	res.Counters = mc.Counters
 	res.Trace = mc.Trace
 
 	if !opts.SkipVerify {
-		golden := workload.MatmulInt8(a, b, n)
-		ok, err := verifyOutput(memory, cBase, golden, n, t.OutputBytes)
-		if err != nil {
-			return res, err
+		checked := 0
+		for i, buf := range inst.Buffers {
+			if buf.Verify == nil {
+				continue
+			}
+			if err := buf.Verify(memory, bases[i]); err != nil {
+				return res, fmt.Errorf("verification failed: %s/%s/%s/%d buffer %d: %w", t.Name, w.Name, p, n, i, err)
+			}
+			checked++
 		}
-		res.Verified = ok
-		if !ok {
-			return res, fmt.Errorf("verification failed: %s/%s/%d output does not match golden matmul", t.Name, p, n)
-		}
+		// A workload with no Verify hooks was never compared against a
+		// golden model; do not report it as verified.
+		res.Verified = checked > 0
 	}
 	return res, nil
 }
 
-func verifyOutput(memory *mem.Memory, cBase uint64, golden []int32, n, outBytes int) (bool, error) {
-	for i, want := range golden {
-		switch outBytes {
-		case 1:
-			got := int8(memory.Read8(cBase + uint64(i)))
-			if got != workload.SaturateInt8(want) {
-				return false, fmt.Errorf("C[%d] = %d, want %d (saturated from %d)", i, got, workload.SaturateInt8(want), want)
-			}
-		case 4:
-			got := int32(memory.Read32(cBase + uint64(4*i)))
-			if got != want {
-				return false, fmt.Errorf("C[%d] = %d, want %d", i, got, want)
-			}
-		default:
-			return false, fmt.Errorf("unsupported output width %d", outBytes)
-		}
-	}
-	return true, nil
-}
-
 // RooflineModel derives the target's analytical roofline model, computing
-// the raw configuration bandwidth from the host cost model and the
-// interface width the way the paper does for Gemmini (§4.6: 16 bytes per
+// the raw configuration bandwidth from the host cost model via the target's
+// RawConfigBW hook, the way the paper does for Gemmini (§4.6: 16 bytes per
 // RoCC custom instruction, issued by a 3-cycles/instruction host with two
 // register-setup instructions per custom op).
 func (t Target) RooflineModel() roofline.Model {
-	var bw float64
-	switch t.Name {
-	case gemmini.Name:
-		// 16 bytes per RoCC instruction; ~3 instructions (2 register
-		// loads + 1 custom) at the host CPI.
-		perInstr := float64(t.Cost.Cycles(riscv.Instr{Op: riscv.CUSTOM}))
-		bw = 16.0 / (3 * perInstr)
-	case opengemm.Name:
-		// 4 bytes per CSR write; ~2 instructions (1 value setup + 1
-		// csrw).
-		perInstr := float64(t.Cost.Cycles(riscv.Instr{Op: riscv.CSRRW}))
-		bw = 4.0 / (2 * perInstr)
-	default:
-		bw = 1
+	bw := 1.0
+	if t.RawConfigBW != nil {
+		bw = t.RawConfigBW(t.Cost)
 	}
 	return roofline.Model{
 		Name:             t.Name,

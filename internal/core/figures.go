@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 
+	"configwall/internal/accel/gemmini"
+	"configwall/internal/accel/opengemm"
 	"configwall/internal/roofline"
 	"configwall/internal/trace"
 )
@@ -12,13 +14,19 @@ import (
 // This file regenerates every table and figure of the paper's evaluation
 // (the per-experiment index lives in DESIGN.md).
 
-// Geomean returns the geometric mean of xs.
+// Geomean returns the geometric mean of xs. The geometric mean is
+// undefined for non-positive inputs, so any x <= 0 yields 0 rather than
+// silently propagating NaN through reported speedups (math.Log(0) is -Inf,
+// math.Log(-x) is NaN).
 func Geomean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	s := 0.0
 	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
 		s += math.Log(x)
 	}
 	return math.Exp(s / float64(len(xs)))
@@ -46,19 +54,28 @@ type Fig10Row struct {
 }
 
 // Figure10 runs the Gemmini weight-stationary tiled matmuls and applies the
-// paper's attainable-performance methodology.
+// paper's attainable-performance methodology, on a fresh concurrent runner.
 func Figure10(sizes []int, opts RunOptions) ([]Fig10Row, error) {
-	t := GemminiTarget()
-	var rows []Fig10Row
+	return Figure10With(NewRunner(0), sizes, opts)
+}
+
+// Figure10With is Figure10 on a caller-provided runner, so consecutive
+// figures share the experiment cache.
+func Figure10With(r *Runner, sizes []int, opts RunOptions) ([]Fig10Row, error) {
+	var exps []Experiment
 	for _, n := range sizes {
-		base, err := RunTiledMatmul(t, Baseline, n, opts)
-		if err != nil {
-			return nil, err
-		}
-		opt, err := RunTiledMatmul(t, AllOptimizations, n, opts)
-		if err != nil {
-			return nil, err
-		}
+		exps = append(exps,
+			Experiment{Target: gemmini.Name, Workload: WorkloadMatmul, Pipeline: Baseline, N: n},
+			Experiment{Target: gemmini.Name, Workload: WorkloadMatmul, Pipeline: AllOptimizations, N: n},
+		)
+	}
+	results, err := r.RunAll(exps, opts)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig10Row
+	for i, n := range sizes {
+		base, opt := results[2*i], results[2*i+1]
 		rows = append(rows, Fig10Row{
 			N:                n,
 			BaselinePerf:     base.AttainableEq3(),
@@ -107,19 +124,28 @@ type Fig11Row struct {
 }
 
 // Figure11 runs the OpenGeMM tiled matmuls and measures cycle-accurate
-// performance (the paper's §6.2 methodology).
+// performance (the paper's §6.2 methodology), on a fresh concurrent runner.
 func Figure11(sizes []int, opts RunOptions) ([]Fig11Row, error) {
-	t := OpenGeMMTarget()
-	var rows []Fig11Row
+	return Figure11With(NewRunner(0), sizes, opts)
+}
+
+// Figure11With is Figure11 on a caller-provided runner, so consecutive
+// figures share the experiment cache.
+func Figure11With(r *Runner, sizes []int, opts RunOptions) ([]Fig11Row, error) {
+	var exps []Experiment
 	for _, n := range sizes {
-		base, err := RunTiledMatmul(t, Baseline, n, opts)
-		if err != nil {
-			return nil, err
-		}
-		opt, err := RunTiledMatmul(t, AllOptimizations, n, opts)
-		if err != nil {
-			return nil, err
-		}
+		exps = append(exps,
+			Experiment{Target: opengemm.Name, Workload: WorkloadMatmul, Pipeline: Baseline, N: n},
+			Experiment{Target: opengemm.Name, Workload: WorkloadMatmul, Pipeline: AllOptimizations, N: n},
+		)
+	}
+	results, err := r.RunAll(exps, opts)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig11Row
+	for i, n := range sizes {
+		base, opt := results[2*i], results[2*i+1]
 		rows = append(rows, Fig11Row{
 			N:            n,
 			BasePerf:     base.OpsPerCycle(),
@@ -163,21 +189,33 @@ type Fig12Data struct {
 }
 
 // Figure12 measures OpenGeMM under all four pipeline variants and places
-// the results on the configuration roofline.
+// the results on the configuration roofline, on a fresh concurrent runner.
 func Figure12(sizes []int, opts RunOptions) (Fig12Data, error) {
-	t := OpenGeMMTarget()
+	return Figure12With(NewRunner(0), sizes, opts)
+}
+
+// Figure12With is Figure12 on a caller-provided runner, so consecutive
+// figures share the experiment cache (Figure 11 and Figure 12 share their
+// base/all cells at common sizes).
+func Figure12With(r *Runner, sizes []int, opts RunOptions) (Fig12Data, error) {
+	t, err := LookupTarget(opengemm.Name)
+	if err != nil {
+		return Fig12Data{}, err
+	}
 	data := Fig12Data{Model: t.RooflineModel()}
-	for _, p := range Pipelines {
+	exps := Sweep([]string{opengemm.Name}, []string{WorkloadMatmul}, Pipelines, sizes)
+	results, err := r.RunAll(exps, opts)
+	if err != nil {
+		return data, err
+	}
+	for pi, p := range Pipelines {
 		s := roofline.Series{Name: p.String()}
-		for _, n := range sizes {
-			r, err := RunTiledMatmul(t, p, n, opts)
-			if err != nil {
-				return data, err
-			}
+		for si, n := range sizes {
+			res := results[pi*len(sizes)+si]
 			s.Points = append(s.Points, roofline.Point{
 				Label: fmt.Sprintf("n=%d", n),
-				IOC:   r.MeasuredIOC(),
-				Perf:  r.OpsPerCycle(),
+				IOC:   res.MeasuredIOC(),
+				Perf:  res.OpsPerCycle(),
 			})
 		}
 		data.Points = append(data.Points, s)

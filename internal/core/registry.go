@@ -1,0 +1,264 @@
+package core
+
+// The target/workload registry: accelerator platforms and kernel families
+// plug in by name, so new experiment cells — a third accelerator, a new
+// workload shape — never require editing the engine (engine.go) or the
+// runner (runner.go). The built-in Gemmini/OpenGeMM targets and the
+// matmul-family workloads register themselves at package init; external
+// code (e.g. examples/customaccel) registers its own at startup.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"configwall/internal/ir"
+	"configwall/internal/mem"
+	"configwall/internal/workload"
+)
+
+// Buffer is one function-argument buffer of a workload instance. The engine
+// places buffers contiguously in simulated memory, in order, and passes
+// each base address in the next argument register.
+type Buffer struct {
+	// Bytes is the buffer size; it also reserves the address range.
+	Bytes uint64
+	// Init fills the buffer's initial contents (nil leaves it zeroed).
+	Init func(m *mem.Memory, base uint64)
+	// Verify checks the buffer's final contents against the golden model
+	// (nil means the buffer is not checked).
+	Verify func(m *mem.Memory, base uint64) error
+}
+
+// Instance is one concrete (workload, target, size) build: the accfg-level
+// IR module plus the execution plan the engine needs to run and verify it.
+type Instance struct {
+	// Module is the workload IR; its "main" function takes one argument
+	// per buffer.
+	Module *ir.Module
+	// Buffers lists the function-argument buffers in signature order.
+	Buffers []Buffer
+}
+
+// Workload is a kernel family parameterized by the sweep size n.
+type Workload struct {
+	// Name keys the workload in the registry and in Experiment.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Build constructs the workload instance for a target at size n. It
+	// must return an error for targets it has no builder for.
+	Build func(t Target, n int) (Instance, error)
+}
+
+var registry = struct {
+	sync.RWMutex
+	targets   map[string]Target
+	workloads map[string]Workload
+}{
+	targets:   map[string]Target{},
+	workloads: map[string]Workload{},
+}
+
+// RegisterTarget adds a target platform to the registry. Registering a
+// duplicate or unnamed target is an error.
+func RegisterTarget(t Target) error {
+	if t.Name == "" {
+		return fmt.Errorf("registry: cannot register target with empty name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.targets[t.Name]; dup {
+		return fmt.Errorf("registry: target %q already registered", t.Name)
+	}
+	registry.targets[t.Name] = t
+	return nil
+}
+
+// MustRegisterTarget is RegisterTarget, panicking on error (for init-time
+// registration).
+func MustRegisterTarget(t Target) {
+	if err := RegisterTarget(t); err != nil {
+		panic(err)
+	}
+}
+
+// LookupTarget returns the registered target with the given name; the error
+// for unknown names lists the valid ones.
+func LookupTarget(name string) (Target, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	t, ok := registry.targets[name]
+	if !ok {
+		return Target{}, fmt.Errorf("registry: unknown target %q (registered: %v)", name, targetNamesLocked())
+	}
+	return t, nil
+}
+
+// TargetNames returns the registered target names, sorted.
+func TargetNames() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return targetNamesLocked()
+}
+
+func targetNamesLocked() []string {
+	names := make([]string, 0, len(registry.targets))
+	for n := range registry.targets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterWorkload adds a workload to the registry. Registering a
+// duplicate, unnamed, or builderless workload is an error.
+func RegisterWorkload(w Workload) error {
+	if w.Name == "" {
+		return fmt.Errorf("registry: cannot register workload with empty name")
+	}
+	if w.Build == nil {
+		return fmt.Errorf("registry: workload %q has no Build function", w.Name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.workloads[w.Name]; dup {
+		return fmt.Errorf("registry: workload %q already registered", w.Name)
+	}
+	registry.workloads[w.Name] = w
+	return nil
+}
+
+// MustRegisterWorkload is RegisterWorkload, panicking on error (for
+// init-time registration).
+func MustRegisterWorkload(w Workload) {
+	if err := RegisterWorkload(w); err != nil {
+		panic(err)
+	}
+}
+
+// LookupWorkload returns the registered workload with the given name; the
+// error for unknown names lists the valid ones.
+func LookupWorkload(name string) (Workload, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	w, ok := registry.workloads[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("registry: unknown workload %q (registered: %v)", name, workloadNamesLocked())
+	}
+	return w, nil
+}
+
+// WorkloadNames returns the registered workload names, sorted.
+func WorkloadNames() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return workloadNamesLocked()
+}
+
+func workloadNamesLocked() []string {
+	names := make([]string, 0, len(registry.workloads))
+	for n := range registry.workloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WorkloadMatmul is the paper's square tiled matmul; WorkloadRectMM and
+// WorkloadMatvec are the rectangular and panel variants.
+const (
+	WorkloadMatmul = workload.ShapeMatmul
+	WorkloadRectMM = workload.ShapeRectMM
+	WorkloadMatvec = workload.ShapeMatvec
+)
+
+func init() {
+	MustRegisterTarget(GemminiTarget())
+	MustRegisterTarget(OpenGeMMTarget())
+	for _, shape := range workload.Shapes {
+		MustRegisterWorkload(matmulWorkload(shape))
+	}
+}
+
+// matmulWorkload wraps one matmul-family shape as a registered workload,
+// dispatching to the per-target IR builder.
+func matmulWorkload(shape workload.Shape) Workload {
+	return Workload{
+		Name:        shape.Name,
+		Description: shape.Description,
+		Build: func(t Target, n int) (Instance, error) {
+			mDim, kDim, nDim := shape.Dims(n)
+			return matmulInstance(t, shape.Name, mDim, kDim, nDim)
+		},
+	}
+}
+
+// matmulInstance builds the M x K x N matmul instance for a target: the IR
+// module, deterministic input matrices, and golden-model verification of C.
+// Any target that provides the MatmulMKN hook participates — the built-ins
+// and externally registered accelerators alike.
+func matmulInstance(t Target, shapeName string, mDim, kDim, nDim int) (Instance, error) {
+	if t.MatmulMKN == nil {
+		return Instance{}, fmt.Errorf("workload %s: target %q provides no MatmulMKN builder", shapeName, t.Name)
+	}
+	m, err := t.MatmulMKN(mDim, kDim, nDim)
+	if err != nil {
+		return Instance{}, err
+	}
+
+	a := make([]int8, mDim*kDim)
+	b := make([]int8, kDim*nDim)
+	workload.Fill(a, 1)
+	workload.Fill(b, 2)
+	outBytes := t.OutputBytes
+
+	return Instance{
+		Module: m,
+		Buffers: []Buffer{
+			int8InputBuffer(a),
+			int8InputBuffer(b),
+			{
+				Bytes: uint64(mDim * nDim * outBytes),
+				Verify: func(mm *mem.Memory, base uint64) error {
+					golden := workload.MatmulInt8MKN(a, b, mDim, kDim, nDim)
+					return verifyMatmulOutput(mm, base, golden, outBytes)
+				},
+			},
+		},
+	}, nil
+}
+
+// int8InputBuffer wraps a pre-filled int8 slice as an input buffer.
+func int8InputBuffer(data []int8) Buffer {
+	return Buffer{
+		Bytes: uint64(len(data)),
+		Init: func(mm *mem.Memory, base uint64) {
+			for i, v := range data {
+				mm.Write8(base+uint64(i), uint8(v))
+			}
+		},
+	}
+}
+
+// verifyMatmulOutput compares the simulated C buffer against the golden
+// int32 product, at the target's output width (int8 saturated or int32).
+func verifyMatmulOutput(memory *mem.Memory, cBase uint64, golden []int32, outBytes int) error {
+	for i, want := range golden {
+		switch outBytes {
+		case 1:
+			got := int8(memory.Read8(cBase + uint64(i)))
+			if got != workload.SaturateInt8(want) {
+				return fmt.Errorf("C[%d] = %d, want %d (saturated from %d)", i, got, workload.SaturateInt8(want), want)
+			}
+		case 4:
+			got := int32(memory.Read32(cBase + uint64(4*i)))
+			if got != want {
+				return fmt.Errorf("C[%d] = %d, want %d", i, got, want)
+			}
+		default:
+			return fmt.Errorf("unsupported output width %d", outBytes)
+		}
+	}
+	return nil
+}

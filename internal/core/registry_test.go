@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"configwall/internal/core"
+)
+
+func TestBuiltinRegistrations(t *testing.T) {
+	targets := core.TargetNames()
+	for _, want := range []string{"gemmini", "opengemm"} {
+		found := false
+		for _, n := range targets {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("target %q not registered (have %v)", want, targets)
+		}
+	}
+	workloads := core.WorkloadNames()
+	for _, want := range []string{core.WorkloadMatmul, core.WorkloadRectMM, core.WorkloadMatvec} {
+		found := false
+		for _, n := range workloads {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("workload %q not registered (have %v)", want, workloads)
+		}
+	}
+}
+
+func TestRegisterTargetDuplicate(t *testing.T) {
+	dup := core.GemminiTarget() // "gemmini" is registered at init
+	if err := core.RegisterTarget(dup); err == nil {
+		t.Error("duplicate target registration must fail")
+	} else if !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("unexpected duplicate error: %v", err)
+	}
+	if err := core.RegisterTarget(core.Target{}); err == nil {
+		t.Error("empty target name must fail")
+	}
+}
+
+func TestRegisterWorkloadDuplicate(t *testing.T) {
+	dup := core.Workload{
+		Name:  core.WorkloadMatmul,
+		Build: func(core.Target, int) (core.Instance, error) { return core.Instance{}, nil },
+	}
+	if err := core.RegisterWorkload(dup); err == nil {
+		t.Error("duplicate workload registration must fail")
+	}
+	if err := core.RegisterWorkload(core.Workload{Name: "no-builder"}); err == nil {
+		t.Error("workload without Build must fail")
+	}
+	if err := core.RegisterWorkload(core.Workload{
+		Build: func(core.Target, int) (core.Instance, error) { return core.Instance{}, nil },
+	}); err == nil {
+		t.Error("empty workload name must fail")
+	}
+}
+
+func TestLookupUnknownListsValidNames(t *testing.T) {
+	if _, err := core.LookupTarget("not-a-target"); err == nil {
+		t.Error("unknown target lookup must fail")
+	} else if !strings.Contains(err.Error(), "gemmini") {
+		t.Errorf("unknown-target error should list registered names: %v", err)
+	}
+	if _, err := core.LookupWorkload("not-a-workload"); err == nil {
+		t.Error("unknown workload lookup must fail")
+	} else if !strings.Contains(err.Error(), "matmul") {
+		t.Errorf("unknown-workload error should list registered names: %v", err)
+	}
+	if _, err := core.RunExperiment(core.Experiment{Target: "nope", Workload: "matmul"}, core.RunOptions{}); err == nil {
+		t.Error("experiment with unknown target must fail")
+	}
+}
+
+func TestMatmulWorkloadRejectsUnknownTarget(t *testing.T) {
+	w, err := core.LookupWorkload(core.WorkloadMatmul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Build(core.Target{Name: "mystery", OutputBytes: 4}, 16); err == nil {
+		t.Error("matmul build for a target without a builder must fail")
+	}
+}
+
+func TestGeomeanGuardsNonPositive(t *testing.T) {
+	if g := core.Geomean([]float64{1, 4}); g != 2 {
+		t.Errorf("Geomean(1,4) = %v, want 2", g)
+	}
+	for _, xs := range [][]float64{{0, 2}, {-1, 2}, {2, 0, 8}} {
+		g := core.Geomean(xs)
+		if g != 0 {
+			t.Errorf("Geomean(%v) = %v, want 0 (undefined for non-positive inputs)", xs, g)
+		}
+		if g != g { // NaN check
+			t.Errorf("Geomean(%v) produced NaN", xs)
+		}
+	}
+}

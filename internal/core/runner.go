@@ -1,0 +1,174 @@
+package core
+
+// The concurrent experiment runner: the paper's evaluation is a sweep over
+// (target, workload, pipeline, n) cells that are embarrassingly parallel —
+// every cell compiles and simulates in its own deterministic sandbox. The
+// runner executes sweeps on a bounded worker pool, memoizes per-cell
+// results so repeated figure generation never recompiles an identical
+// cell, and returns results in input order so concurrent output is
+// byte-identical to a serial run.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Experiment keys one cell of the evaluation sweep by registry names.
+type Experiment struct {
+	// Target is a registered target name (e.g. "gemmini").
+	Target string
+	// Workload is a registered workload name (e.g. "matmul").
+	Workload string
+	// Pipeline selects the optimization variant.
+	Pipeline Pipeline
+	// N is the workload sweep size.
+	N int
+}
+
+func (e Experiment) String() string {
+	return fmt.Sprintf("%s/%s/%s/%d", e.Target, e.Workload, e.Pipeline, e.N)
+}
+
+// RunExperiment resolves the experiment's target and workload through the
+// registry and executes it once, uncached. Sweeps should prefer a Runner.
+func RunExperiment(e Experiment, opts RunOptions) (Result, error) {
+	t, err := LookupTarget(e.Target)
+	if err != nil {
+		return Result{}, err
+	}
+	w, err := LookupWorkload(e.Workload)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(t, w, e.Pipeline, e.N, opts)
+}
+
+// cacheKey is the memoization key: the experiment cell plus every RunOptions
+// knob that changes the produced Result.
+type cacheKey struct {
+	exp         Experiment
+	recordTrace bool
+	skipVerify  bool
+}
+
+// cell is one memoized experiment execution; Once collapses concurrent
+// duplicate requests into a single run.
+type cell struct {
+	once sync.Once
+	res  Result
+	err  error
+}
+
+// Runner executes experiments on a bounded worker pool with a
+// per-experiment result cache. The co-simulator is deterministic, so a
+// cached Result is indistinguishable from a fresh run; cached results are
+// shared, and callers must treat their slices (PassStats, Trace) as
+// read-only.
+//
+// A Runner is safe for concurrent use.
+type Runner struct {
+	workers int
+
+	mu    sync.Mutex
+	cells map[cacheKey]*cell
+}
+
+// NewRunner returns a runner with the given worker-pool bound; workers <= 0
+// selects GOMAXPROCS.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, cells: map[cacheKey]*cell{}}
+}
+
+// Workers returns the worker-pool bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// CacheSize returns the number of memoized experiment cells.
+func (r *Runner) CacheSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cells)
+}
+
+func (r *Runner) cell(k cacheKey) *cell {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.cells[k]
+	if !ok {
+		c = &cell{}
+		r.cells[k] = c
+	}
+	return c
+}
+
+// Run executes one experiment, memoized: the first request for a cell
+// compiles and simulates it, every later request (including a concurrent
+// duplicate) returns the stored result.
+func (r *Runner) Run(e Experiment, opts RunOptions) (Result, error) {
+	c := r.cell(cacheKey{exp: e, recordTrace: opts.RecordTrace, skipVerify: opts.SkipVerify})
+	c.once.Do(func() {
+		c.res, c.err = RunExperiment(e, opts)
+	})
+	return c.res, c.err
+}
+
+// RunAll executes the experiments concurrently on the worker pool and
+// returns their results in input order — results[i] belongs to exps[i], so
+// parallel output is byte-identical to a serial (workers = 1) run. On
+// failure it returns the error of the lowest-indexed failing experiment
+// alongside the partial results.
+func (r *Runner) RunAll(exps []Experiment, opts RunOptions) ([]Result, error) {
+	results := make([]Result, len(exps))
+	errs := make([]error, len(exps))
+
+	workers := r.workers
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = r.Run(exps[i], opts)
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("experiment %s: %w", exps[i], err)
+		}
+	}
+	return results, nil
+}
+
+// Sweep builds the full cross product of the given targets, workloads,
+// pipelines and sizes, in deterministic row-major order.
+func Sweep(targets, workloads []string, pipelines []Pipeline, sizes []int) []Experiment {
+	exps := make([]Experiment, 0, len(targets)*len(workloads)*len(pipelines)*len(sizes))
+	for _, t := range targets {
+		for _, w := range workloads {
+			for _, p := range pipelines {
+				for _, n := range sizes {
+					exps = append(exps, Experiment{Target: t, Workload: w, Pipeline: p, N: n})
+				}
+			}
+		}
+	}
+	return exps
+}

@@ -1,0 +1,200 @@
+package core_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"configwall/internal/core"
+)
+
+// fullSweep is a small but complete cross of both targets, all pipelines
+// and several sizes — the shape of a full-figure regeneration.
+func fullSweep() []core.Experiment {
+	var exps []core.Experiment
+	exps = append(exps, core.Sweep(
+		[]string{"opengemm"},
+		[]string{core.WorkloadMatmul},
+		core.Pipelines,
+		[]int{8, 16, 24},
+	)...)
+	exps = append(exps, core.Sweep(
+		[]string{"gemmini"},
+		[]string{core.WorkloadMatmul},
+		core.Pipelines,
+		[]int{16, 32},
+	)...)
+	return exps
+}
+
+// TestRunnerDeterminism is the runner's central contract: a concurrent
+// full-figure sweep must produce results identical to a serial run, cell
+// for cell, in input order.
+func TestRunnerDeterminism(t *testing.T) {
+	exps := fullSweep()
+	serial, err := core.NewRunner(1).RunAll(exps, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := core.NewRunner(8).RunAll(exps, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("experiment %s: serial and parallel results differ:\nserial:   %+v\nparallel: %+v",
+				exps[i], serial[i], parallel[i])
+		}
+	}
+}
+
+// TestFigureRenderingDeterminism asserts the acceptance criterion end to
+// end: every figure rendered from a concurrent runner is byte-identical to
+// the serial rendering.
+func TestFigureRenderingDeterminism(t *testing.T) {
+	sizes := []int{16, 32}
+	opts := core.RunOptions{SkipVerify: true}
+
+	r10s, err := core.Figure10With(core.NewRunner(1), sizes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10p, err := core.Figure10With(core.NewRunner(8), sizes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := core.RenderFigure10(r10s), core.RenderFigure10(r10p); a != b {
+		t.Errorf("Figure 10 differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
+	}
+
+	r11s, err := core.Figure11With(core.NewRunner(1), sizes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r11p, err := core.Figure11With(core.NewRunner(8), sizes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := core.RenderFigure11(r11s), core.RenderFigure11(r11p); a != b {
+		t.Errorf("Figure 11 differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
+	}
+
+	d12s, err := core.Figure12With(core.NewRunner(1), sizes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d12p, err := core.Figure12With(core.NewRunner(8), sizes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := core.RenderFigure12(d12s), core.RenderFigure12(d12p); a != b {
+		t.Errorf("Figure 12 differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestRunnerCacheReuse asserts the memoization contract: a repeated cell is
+// served from the cache (the stored Result shares its PassStats backing
+// array) and the cache grows by distinct cells only.
+func TestRunnerCacheReuse(t *testing.T) {
+	r := core.NewRunner(2)
+	e := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.AllOptimizations, N: 16}
+	first, err := r.Run(e, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(e, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.PassStats) == 0 || &first.PassStats[0] != &second.PassStats[0] {
+		t.Error("repeated experiment was recompiled instead of served from the cache")
+	}
+	if got := r.CacheSize(); got != 1 {
+		t.Errorf("cache size = %d, want 1", got)
+	}
+	// Different options key different cells.
+	if _, err := r.Run(e, core.RunOptions{SkipVerify: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CacheSize(); got != 2 {
+		t.Errorf("cache size = %d, want 2 after options change", got)
+	}
+}
+
+// TestRunnerDuplicateCellsInSweep: duplicate cells in one RunAll must
+// all be answered, from a single execution.
+func TestRunnerDuplicateCellsInSweep(t *testing.T) {
+	e := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 8}
+	r := core.NewRunner(4)
+	results, err := r.RunAll([]core.Experiment{e, e, e, e}, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CacheSize(); got != 1 {
+		t.Errorf("cache size = %d, want 1 (duplicates collapse)", got)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("duplicate cell %d differs from cell 0", i)
+		}
+	}
+}
+
+// TestRunAllFirstErrorDeterministic: with several failing cells, RunAll
+// reports the lowest-indexed failure regardless of scheduling.
+func TestRunAllFirstErrorDeterministic(t *testing.T) {
+	exps := []core.Experiment{
+		{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 8},
+		{Target: "gemmini", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 20},  // invalid: not a multiple of 16
+		{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 12}, // invalid: not a multiple of 8
+	}
+	for trial := 0; trial < 3; trial++ {
+		_, err := core.NewRunner(8).RunAll(exps, core.RunOptions{})
+		if err == nil {
+			t.Fatal("expected error from invalid sizes")
+		}
+		if !strings.Contains(err.Error(), "gemmini/matmul/base/20") {
+			t.Errorf("error %q does not name the lowest-indexed failing experiment", err)
+		}
+	}
+}
+
+// TestNewWorkloadsVerify: the registered rectangular and matvec-panel
+// workloads compile, simulate and verify on both built-in targets, with the
+// expected operation counts — the registry acceptance check that workloads
+// beyond the paper's square matmul plug in without engine changes.
+func TestNewWorkloadsVerify(t *testing.T) {
+	cases := []struct {
+		target   string
+		workload string
+		n        int
+		wantOps  uint64
+	}{
+		// rectmm: M=n, K=2n, N=n/2 -> ops = 2*M*K*N = 2n^3.
+		{"gemmini", core.WorkloadRectMM, 32, 2 * 32 * 32 * 32},
+		{"opengemm", core.WorkloadRectMM, 16, 2 * 16 * 16 * 16},
+		// matvec panel: M=n, K=n, N=16 -> ops = 2*n*n*16.
+		{"gemmini", core.WorkloadMatvec, 32, 2 * 32 * 32 * 16},
+		{"opengemm", core.WorkloadMatvec, 16, 2 * 16 * 16 * 16},
+	}
+	for _, tc := range cases {
+		for _, p := range core.Pipelines {
+			e := core.Experiment{Target: tc.target, Workload: tc.workload, Pipeline: p, N: tc.n}
+			t.Run(e.String(), func(t *testing.T) {
+				res, err := core.RunExperiment(e, core.RunOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Verified {
+					t.Error("result not verified")
+				}
+				if res.AccelOps != tc.wantOps {
+					t.Errorf("AccelOps = %d, want %d", res.AccelOps, tc.wantOps)
+				}
+			})
+		}
+	}
+}

@@ -3,29 +3,35 @@ package workload
 // Golden CPU reference implementations and deterministic matrix
 // initializers shared by tests, examples and the experiment engine.
 
-// FillMatrix fills an n*n int8 matrix with a deterministic pseudo-random
-// pattern derived from seed (a small linear congruential generator — the
-// simulators are deterministic, so experiments are reproducible).
-func FillMatrix(buf []int8, n int, seed uint64) {
+// Fill fills an int8 buffer with a deterministic pseudo-random pattern
+// derived from seed (a small linear congruential generator — the simulators
+// are deterministic, so experiments are reproducible).
+func Fill(buf []int8, seed uint64) {
 	s := seed*2862933555777941757 + 3037000493
-	for i := 0; i < n*n; i++ {
+	for i := range buf {
 		s = s*6364136223846793005 + 1442695040888963407
 		// Keep values small so int8 outputs rarely saturate.
 		buf[i] = int8(int64(s>>59) - 16)
 	}
 }
 
-// MatmulInt8 computes the int32 reference product C = A x B for n x n
-// int8 matrices in row-major layout.
-func MatmulInt8(a, b []int8, n int) []int32 {
-	c := make([]int32, n*n)
-	for i := 0; i < n; i++ {
-		for k := 0; k < n; k++ {
-			av := int32(a[i*n+k])
+// FillMatrix fills an n*n int8 matrix deterministically (square
+// convenience wrapper around Fill).
+func FillMatrix(buf []int8, n int, seed uint64) {
+	Fill(buf[:n*n], seed)
+}
+
+// MatmulInt8MKN computes the int32 reference product C[M,N] = A[M,K] x
+// B[K,N] for row-major int8 matrices.
+func MatmulInt8MKN(a, b []int8, m, k, n int) []int32 {
+	c := make([]int32, m*n)
+	for i := 0; i < m; i++ {
+		for x := 0; x < k; x++ {
+			av := int32(a[i*k+x])
 			if av == 0 {
 				continue
 			}
-			row := b[k*n:]
+			row := b[x*n:]
 			out := c[i*n:]
 			for j := 0; j < n; j++ {
 				out[j] += av * int32(row[j])
@@ -33,6 +39,12 @@ func MatmulInt8(a, b []int8, n int) []int32 {
 		}
 	}
 	return c
+}
+
+// MatmulInt8 computes the int32 reference product C = A x B for n x n
+// int8 matrices in row-major layout.
+func MatmulInt8(a, b []int8, n int) []int32 {
+	return MatmulInt8MKN(a, b, n, n, n)
 }
 
 // SaturateInt8 clamps an int32 accumulator to the int8 output range, the
