@@ -320,6 +320,53 @@ func BenchmarkSweep_CacheHit(b *testing.B) {
 	b.ReportMetric(float64(len(exps)), "experiments")
 }
 
+// BenchmarkSweep_StoreHit measures the process-restart scenario the
+// persistent store exists for: a fresh runner per iteration (empty memory
+// cache) serving the whole sweep from a prepopulated on-disk store —
+// deserialization cost instead of compile+simulate cost.
+func BenchmarkSweep_StoreHit(b *testing.B) {
+	exps := sweepForBench()
+	opts := configwall.RunOptions{SkipVerify: true}
+	st, err := configwall.OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := configwall.NewRunnerWith(configwall.RunnerOptions{Store: st})
+	if _, err := warm.RunAll(exps, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := configwall.NewRunnerWith(configwall.RunnerOptions{Store: st})
+		if _, err := r.RunAll(exps, opts); err != nil {
+			b.Fatal(err)
+		}
+		if s := r.Snapshot(); s.Runs != 0 {
+			b.Fatalf("store-hit sweep recomputed %d cells", s.Runs)
+		}
+	}
+	b.ReportMetric(float64(len(exps)), "experiments")
+}
+
+// BenchmarkSweep_StoreWrite measures the first, cold pass of a
+// store-backed sweep: compute everything and persist every cell.
+func BenchmarkSweep_StoreWrite(b *testing.B) {
+	exps := sweepForBench()
+	opts := configwall.RunOptions{SkipVerify: true}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := configwall.OpenStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := configwall.NewRunnerWith(configwall.RunnerOptions{Store: st}).RunAll(exps, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(exps)), "experiments")
+}
+
 // Sanity: the benchmark harness prints a one-line summary when verbose.
 func Example_benchmarkCatalogue() {
 	fmt.Println("benchmarks map 1:1 to the paper's tables and figures; see DESIGN.md")

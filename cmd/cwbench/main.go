@@ -1,15 +1,24 @@
 // Command cwbench regenerates every table and figure of the paper's
 // evaluation section (see DESIGN.md for the experiment index):
 //
-//	cwbench                  # run everything
-//	cwbench -only fig11      # one artifact: table1, fig3, fig4, fig5,
-//	                         # example46, fig7, fig10, fig11, fig12
-//	cwbench -sizes 16,32,64  # override the size sweep
-//	cwbench -workers 8       # experiment worker-pool bound (0 = all cores)
+//	cwbench                    # run everything
+//	cwbench -only fig11        # one artifact: table1, fig3, fig4, fig5,
+//	                           # example46, fig7, fig10, fig11, fig12
+//	cwbench -sizes 16,32,64    # override the size sweep
+//	cwbench -workers 8         # experiment worker-pool bound (0 = all cores)
+//	cwbench -cache-dir .cwcache  # persist results; reruns recompute nothing
+//	cwbench -cache-dir .cwcache -shard 0/4   # precompute 1/4 of the grid
+//	cwbench -cache-stats       # report cache hit/miss/run counters
 //
 // All experiment cells run on one shared concurrent runner, so artifacts
 // that revisit a cell (Figure 11 and Figure 12 share their base/all cells)
-// never recompile it, and output is byte-identical to a serial run.
+// never recompile it, and output is byte-identical to a serial run. With
+// -cache-dir the runner is additionally backed by a persistent store: a
+// repeated invocation simulates nothing, and a crashed or sharded sweep
+// resumes exactly where the stored cells end. -shard i/m computes only the
+// i-th stride of the figure grid and renders nothing — run one process per
+// shard against the same -cache-dir, then a final plain invocation renders
+// every figure from the store.
 package main
 
 import (
@@ -22,13 +31,16 @@ import (
 	"configwall/internal/accel/gemmini"
 	"configwall/internal/core"
 	"configwall/internal/roofline"
+	"configwall/internal/store"
 )
 
-// artifact is one regenerable table/figure; run renders it to stdout.
+// artifact is one regenerable table/figure; run renders it to stdout, and
+// grid (optional) lists its experiment cells for sharded precomputation.
 type artifact struct {
 	name  string
 	title string
 	run   func(b *bench) error
+	grid  func(b *bench) []core.Experiment
 }
 
 // bench carries the shared state of one cwbench invocation.
@@ -47,11 +59,11 @@ func (b *bench) pick(def []int) []int {
 // artifacts lists every artifact in presentation order; -only matches on
 // name, and unknown names report this list.
 var artifacts = []artifact{
-	{"table1", "Table 1: fields of the gemmini_loop_ws sequence", func(*bench) error {
+	{name: "table1", title: "Table 1: fields of the gemmini_loop_ws sequence", run: func(*bench) error {
 		fmt.Print(gemmini.Table1())
 		return nil
 	}},
-	{"fig3", "Figure 3: processor roofline", func(*bench) error {
+	{name: "fig3", title: "Figure 3: processor roofline", run: func(*bench) error {
 		m := roofline.Model{Name: "generic", PeakOps: 512, BWConfig: 1, BWMemory: 16}
 		fmt.Println("P_attainable = min(peak, BW_memory x I_operational)")
 		for _, iop := range []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128} {
@@ -59,7 +71,7 @@ var artifacts = []artifact{
 		}
 		return nil
 	}},
-	{"fig4", "", func(*bench) error {
+	{name: "fig4", run: func(*bench) error {
 		g, err := core.LookupTarget("gemmini")
 		if err != nil {
 			return err
@@ -67,7 +79,7 @@ var artifacts = []artifact{
 		fmt.Print(core.RenderFigure4(g.RooflineModel()))
 		return nil
 	}},
-	{"fig5", "", func(*bench) error {
+	{name: "fig5", run: func(*bench) error {
 		o, err := core.LookupTarget("opengemm")
 		if err != nil {
 			return err
@@ -75,11 +87,11 @@ var artifacts = []artifact{
 		fmt.Print(core.RenderFigure5(o.RooflineModel(), 8))
 		return nil
 	}},
-	{"example46", "", func(*bench) error {
+	{name: "example46", run: func(*bench) error {
 		fmt.Print(core.RenderSection46())
 		return nil
 	}},
-	{"fig7", "Figure 2/7: execution timelines before/after optimization", func(*bench) error {
+	{name: "fig7", title: "Figure 2/7: execution timelines before/after optimization", run: func(*bench) error {
 		o, err := core.LookupTarget("opengemm")
 		if err != nil {
 			return err
@@ -91,29 +103,35 @@ var artifacts = []artifact{
 		fmt.Print(out)
 		return nil
 	}},
-	{"fig10", "", func(b *bench) error {
+	{name: "fig10", run: func(b *bench) error {
 		rows, err := core.Figure10With(b.runner, b.pick(core.Figure10Sizes), core.RunOptions{})
 		if err != nil {
 			return err
 		}
 		fmt.Print(core.RenderFigure10(rows))
 		return nil
+	}, grid: func(b *bench) []core.Experiment {
+		return core.Figure10Experiments(b.pick(core.Figure10Sizes))
 	}},
-	{"fig11", "", func(b *bench) error {
+	{name: "fig11", run: func(b *bench) error {
 		rows, err := core.Figure11With(b.runner, b.pick(core.Figure11Sizes), core.RunOptions{})
 		if err != nil {
 			return err
 		}
 		fmt.Print(core.RenderFigure11(rows))
 		return nil
+	}, grid: func(b *bench) []core.Experiment {
+		return core.Figure11Experiments(b.pick(core.Figure11Sizes))
 	}},
-	{"fig12", "", func(b *bench) error {
+	{name: "fig12", run: func(b *bench) error {
 		data, err := core.Figure12With(b.runner, b.pick(core.Figure12Sizes), core.RunOptions{})
 		if err != nil {
 			return err
 		}
 		fmt.Print(core.RenderFigure12(data))
 		return nil
+	}, grid: func(b *bench) []core.Experiment {
+		return core.Figure12Experiments(b.pick(core.Figure12Sizes))
 	}},
 }
 
@@ -129,9 +147,20 @@ func main() {
 	only := flag.String("only", "", "run a single artifact ("+strings.Join(artifactNames(), "|")+")")
 	sizes := flag.String("sizes", "", "comma-separated matrix sizes overriding the per-figure defaults")
 	workers := flag.Int("workers", 0, "experiment worker-pool bound (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "directory of the persistent experiment-result store (empty = in-memory only)")
+	shardSpec := flag.String("shard", "", "precompute shard i/m of the figure grid into -cache-dir and render nothing (e.g. 0/4)")
+	cacheStats := flag.Bool("cache-stats", false, "print runner cache statistics after the run")
 	flag.Parse()
 
-	b := &bench{runner: core.NewRunner(*workers)}
+	ropts := core.RunnerOptions{Workers: *workers}
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			fatal("%v", err)
+		}
+		ropts.Store = st
+	}
+	b := &bench{runner: core.NewRunnerWith(ropts)}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -142,20 +171,101 @@ func main() {
 		}
 	}
 
-	ran := false
+	if *shardSpec != "" {
+		if *cacheDir == "" {
+			fatal("-shard requires -cache-dir (shards only communicate through the store)")
+		}
+		if err := precomputeShard(b, *only, *shardSpec); err != nil {
+			fatal("%v", err)
+		}
+	} else {
+		ran := false
+		for _, a := range artifacts {
+			if *only != "" && *only != a.name {
+				continue
+			}
+			ran = true
+			section(a.title)
+			if err := a.run(b); err != nil {
+				fatal("%s: %v", a.name, err)
+			}
+		}
+		if !ran {
+			fatal("unknown artifact %q (valid artifacts: %s)", *only, strings.Join(artifactNames(), ", "))
+		}
+	}
+
+	if *cacheStats {
+		fmt.Fprintf(os.Stderr, "cwbench: cache: %s\n", b.runner.Snapshot())
+	}
+}
+
+// precomputeShard runs one strided shard of the selected artifacts'
+// experiment grid, filling the persistent store without rendering.
+func precomputeShard(b *bench, only, spec string) error {
+	i, m, err := parseShard(spec)
+	if err != nil {
+		return err
+	}
+	if only != "" {
+		known := false
+		for _, a := range artifacts {
+			known = known || a.name == only
+		}
+		if !known {
+			return fmt.Errorf("unknown artifact %q (valid artifacts: %s)", only, strings.Join(artifactNames(), ", "))
+		}
+	}
+	grid := figureGrid(b, only)
+	if len(grid) == 0 {
+		return fmt.Errorf("no experiment grid to shard (artifact %q has no sweep)", only)
+	}
+	part, err := core.Shard(grid, i, m)
+	if err != nil {
+		return err
+	}
+	if _, err := b.runner.RunAll(part, core.RunOptions{}); err != nil {
+		return err
+	}
+	s := b.runner.Snapshot()
+	fmt.Printf("shard %d/%d: %d of %d grid cells (%d computed, %d already stored)\n",
+		i, m, len(part), len(grid), s.Runs, s.StoreHits)
+	return nil
+}
+
+// parseShard parses "i/m".
+func parseShard(spec string) (i, m int, err error) {
+	parts := strings.SplitN(spec, "/", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -shard %q: want i/m (e.g. 0/4)", spec)
+	}
+	i, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err == nil {
+		m, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: %v", spec, err)
+	}
+	return i, m, nil
+}
+
+// figureGrid unions (and dedupes) the experiment cells of every selected
+// artifact that has a sweep, preserving presentation order.
+func figureGrid(b *bench, only string) []core.Experiment {
+	seen := map[core.Experiment]bool{}
+	var grid []core.Experiment
 	for _, a := range artifacts {
-		if *only != "" && *only != a.name {
+		if a.grid == nil || (only != "" && only != a.name) {
 			continue
 		}
-		ran = true
-		section(a.title)
-		if err := a.run(b); err != nil {
-			fatal("%s: %v", a.name, err)
+		for _, e := range a.grid(b) {
+			if !seen[e] {
+				seen[e] = true
+				grid = append(grid, e)
+			}
 		}
 	}
-	if !ran {
-		fatal("unknown artifact %q (valid artifacts: %s)", *only, strings.Join(artifactNames(), ", "))
-	}
+	return grid
 }
 
 func section(title string) {

@@ -40,6 +40,7 @@ package configwall
 import (
 	"configwall/internal/core"
 	"configwall/internal/roofline"
+	"configwall/internal/store"
 )
 
 // Pipeline selects which of the paper's optimizations run.
@@ -138,6 +139,37 @@ type Runner = core.Runner
 // NewRunner returns a runner with the given worker bound (<= 0 selects
 // GOMAXPROCS).
 func NewRunner(workers int) *Runner { return core.NewRunner(workers) }
+
+// RunnerOptions configures a Runner beyond the worker bound: an optional
+// persistent Store backend and an LRU bound on the in-memory cell map.
+type RunnerOptions = core.RunnerOptions
+
+// NewRunnerWith returns a runner configured by opts.
+func NewRunnerWith(opts RunnerOptions) *Runner { return core.NewRunnerWith(opts) }
+
+// Store persists experiment results across processes; plug one into a
+// Runner via RunnerOptions to make repeated sweeps skip every stored cell.
+type Store = core.Store
+
+// CacheStats counts how a Runner satisfied experiment requests (memory
+// hits, store hits, fresh runs, evictions); read them with
+// Runner.Snapshot.
+type CacheStats = core.CacheStats
+
+// DiskStore is the content-addressed on-disk Store implementation:
+// schema-versioned fingerprint keys, atomic writes, corruption-tolerant
+// loads. Multiple processes may share one directory.
+type DiskStore = store.DiskStore
+
+// OpenStore prepares a disk store rooted at dir, creating it if needed.
+func OpenStore(dir string) (*DiskStore, error) { return store.Open(dir) }
+
+// ShardExperiments returns the i-th of m strided partitions of a sweep.
+// The m shards are disjoint and cover the sweep exactly, so a grid can be
+// split across processes that share a persistent store.
+func ShardExperiments(exps []Experiment, i, m int) ([]Experiment, error) {
+	return core.Shard(exps, i, m)
+}
 
 // RunExperiment resolves an experiment through the registry and executes it
 // once, uncached.

@@ -21,6 +21,55 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicStoreAndShardAPI drives the persistence surface end to end
+// through the exported names: open a disk store, shard a sweep across two
+// store-sharing runners, then serve the full sweep from the store with
+// zero recomputation.
+func TestPublicStoreAndShardAPI(t *testing.T) {
+	opts := configwall.RunOptions{SkipVerify: true}
+	exps := configwall.SweepExperiments(
+		[]string{"opengemm"}, []string{configwall.WorkloadMatmul},
+		configwall.Pipelines, []int{8, 16})
+	dir := t.TempDir()
+
+	for i := 0; i < 2; i++ {
+		st, err := configwall.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := configwall.ShardExperiments(exps, i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := configwall.NewRunnerWith(configwall.RunnerOptions{Store: st, MaxCells: 4})
+		if _, err := r.RunAll(part, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := configwall.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := configwall.NewRunnerWith(configwall.RunnerOptions{Store: st})
+	results, err := r.RunAll(exps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := r.Snapshot()
+	if stats.Runs != 0 {
+		t.Errorf("full sweep after sharded precompute recomputed %d cells, want 0 (%s)", stats.Runs, stats)
+	}
+	if int(stats.StoreHits) != len(exps) {
+		t.Errorf("StoreHits = %d, want %d", stats.StoreHits, len(exps))
+	}
+	for i, res := range results {
+		if res.Cycles == 0 {
+			t.Errorf("result %d (%s) is empty", i, exps[i])
+		}
+	}
+}
+
 func TestPublicRooflineHelpers(t *testing.T) {
 	// The paper's §4.6 numbers through the public API.
 	util := configwall.Sequential(512, 16.0/9.0, 204.8) / 512

@@ -15,21 +15,33 @@ import (
 // (the per-experiment index lives in DESIGN.md).
 
 // Geomean returns the geometric mean of xs. The geometric mean is
-// undefined for non-positive inputs, so any x <= 0 yields 0 rather than
-// silently propagating NaN through reported speedups (math.Log(0) is -Inf,
-// math.Log(-x) is NaN).
+// undefined for non-positive inputs, and NaN or +Inf would silently poison
+// the reported summary, so any x that is not a positive finite number
+// yields 0 rather than propagating through reported speedups (math.Log(0)
+// is -Inf, math.Log(-x) is NaN; NaN fails every comparison, so `x <= 0`
+// alone would wave it through).
 func Geomean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	s := 0.0
 	for _, x := range xs {
-		if x <= 0 {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
 			return 0
 		}
 		s += math.Log(x)
 	}
 	return math.Exp(s / float64(len(xs)))
+}
+
+// speedupRatio divides opt by base, reporting 0 for a zero, NaN or
+// infinite baseline instead of leaking NaN/Inf into rendered figures (a
+// degenerate cell — e.g. a zero-op run — must not corrupt the geomean).
+func speedupRatio(opt, base float64) float64 {
+	if base == 0 || math.IsNaN(base) || math.IsInf(base, 0) {
+		return 0
+	}
+	return opt / base
 }
 
 // Figure10Sizes are the matrix sizes of the paper's Figure 10.
@@ -59,9 +71,10 @@ func Figure10(sizes []int, opts RunOptions) ([]Fig10Row, error) {
 	return Figure10With(NewRunner(0), sizes, opts)
 }
 
-// Figure10With is Figure10 on a caller-provided runner, so consecutive
-// figures share the experiment cache.
-func Figure10With(r *Runner, sizes []int, opts RunOptions) ([]Fig10Row, error) {
+// Figure10Experiments lists the grid cells Figure 10 measures, in the
+// order Figure10With consumes them; sharded precomputation partitions this
+// list.
+func Figure10Experiments(sizes []int) []Experiment {
 	var exps []Experiment
 	for _, n := range sizes {
 		exps = append(exps,
@@ -69,7 +82,13 @@ func Figure10With(r *Runner, sizes []int, opts RunOptions) ([]Fig10Row, error) {
 			Experiment{Target: gemmini.Name, Workload: WorkloadMatmul, Pipeline: AllOptimizations, N: n},
 		)
 	}
-	results, err := r.RunAll(exps, opts)
+	return exps
+}
+
+// Figure10With is Figure10 on a caller-provided runner, so consecutive
+// figures share the experiment cache (and its persistent store, if any).
+func Figure10With(r *Runner, sizes []int, opts RunOptions) ([]Fig10Row, error) {
+	results, err := r.RunAll(Figure10Experiments(sizes), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +99,7 @@ func Figure10With(r *Runner, sizes []int, opts RunOptions) ([]Fig10Row, error) {
 			N:                n,
 			BaselinePerf:     base.AttainableEq3(),
 			AccfgPerf:        opt.AttainableEq3(),
-			Speedup:          opt.AttainableEq3() / base.AttainableEq3(),
+			Speedup:          speedupRatio(opt.AttainableEq3(), base.AttainableEq3()),
 			BaselineCounters: base,
 			AccfgCounters:    opt,
 		})
@@ -129,9 +148,9 @@ func Figure11(sizes []int, opts RunOptions) ([]Fig11Row, error) {
 	return Figure11With(NewRunner(0), sizes, opts)
 }
 
-// Figure11With is Figure11 on a caller-provided runner, so consecutive
-// figures share the experiment cache.
-func Figure11With(r *Runner, sizes []int, opts RunOptions) ([]Fig11Row, error) {
+// Figure11Experiments lists the grid cells Figure 11 measures, in the
+// order Figure11With consumes them.
+func Figure11Experiments(sizes []int) []Experiment {
 	var exps []Experiment
 	for _, n := range sizes {
 		exps = append(exps,
@@ -139,7 +158,13 @@ func Figure11With(r *Runner, sizes []int, opts RunOptions) ([]Fig11Row, error) {
 			Experiment{Target: opengemm.Name, Workload: WorkloadMatmul, Pipeline: AllOptimizations, N: n},
 		)
 	}
-	results, err := r.RunAll(exps, opts)
+	return exps
+}
+
+// Figure11With is Figure11 on a caller-provided runner, so consecutive
+// figures share the experiment cache (and its persistent store, if any).
+func Figure11With(r *Runner, sizes []int, opts RunOptions) ([]Fig11Row, error) {
+	results, err := r.RunAll(Figure11Experiments(sizes), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +175,7 @@ func Figure11With(r *Runner, sizes []int, opts RunOptions) ([]Fig11Row, error) {
 			N:            n,
 			BasePerf:     base.OpsPerCycle(),
 			OptPerf:      opt.OpsPerCycle(),
-			Speedup:      opt.OpsPerCycle() / base.OpsPerCycle(),
+			Speedup:      speedupRatio(opt.OpsPerCycle(), base.OpsPerCycle()),
 			BaseCounters: base,
 			OptCounters:  opt,
 		})
@@ -194,6 +219,12 @@ func Figure12(sizes []int, opts RunOptions) (Fig12Data, error) {
 	return Figure12With(NewRunner(0), sizes, opts)
 }
 
+// Figure12Experiments lists the grid cells Figure 12 measures (every
+// pipeline variant at every size), in the order Figure12With consumes them.
+func Figure12Experiments(sizes []int) []Experiment {
+	return Sweep([]string{opengemm.Name}, []string{WorkloadMatmul}, Pipelines, sizes)
+}
+
 // Figure12With is Figure12 on a caller-provided runner, so consecutive
 // figures share the experiment cache (Figure 11 and Figure 12 share their
 // base/all cells at common sizes).
@@ -203,8 +234,7 @@ func Figure12With(r *Runner, sizes []int, opts RunOptions) (Fig12Data, error) {
 		return Fig12Data{}, err
 	}
 	data := Fig12Data{Model: t.RooflineModel()}
-	exps := Sweep([]string{opengemm.Name}, []string{WorkloadMatmul}, Pipelines, sizes)
-	results, err := r.RunAll(exps, opts)
+	results, err := r.RunAll(Figure12Experiments(sizes), opts)
 	if err != nil {
 		return data, err
 	}

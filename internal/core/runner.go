@@ -7,8 +7,16 @@ package core
 // results so repeated figure generation never recompiles an identical
 // cell, and returns results in input order so concurrent output is
 // byte-identical to a serial run.
+//
+// Two scaling controls sit on top of the memoization: an optional
+// persistent Store (see store.go and internal/store) makes results survive
+// the process, so re-running a figure grid — or resuming a crashed or
+// sharded sweep — skips every cell that already ran; and an LRU bound on
+// the in-memory cell map keeps long-lived sweep servers from growing
+// without limit.
 
 import (
+	"container/list"
 	"fmt"
 	"runtime"
 	"sync"
@@ -45,11 +53,15 @@ func RunExperiment(e Experiment, opts RunOptions) (Result, error) {
 }
 
 // cacheKey is the memoization key: the experiment cell plus every RunOptions
-// knob that changes the produced Result.
+// knob that changes the produced Result (kept in sync with FingerprintKey).
 type cacheKey struct {
 	exp         Experiment
 	recordTrace bool
 	skipVerify  bool
+}
+
+func keyOf(e Experiment, opts RunOptions) cacheKey {
+	return cacheKey{exp: e, recordTrace: opts.RecordTrace, skipVerify: opts.SkipVerify}
 }
 
 // cell is one memoized experiment execution; Once collapses concurrent
@@ -60,6 +72,24 @@ type cell struct {
 	err  error
 }
 
+// lruEntry pairs a cell with its key so eviction can delete the map entry.
+type lruEntry struct {
+	key cacheKey
+	c   *cell
+}
+
+// RunnerOptions configures a Runner beyond the worker-pool bound.
+type RunnerOptions struct {
+	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Store, when non-nil, persists results across processes: memory
+	// misses consult it before computing, and fresh results are saved back.
+	Store Store
+	// MaxCells bounds the in-memory cell map (LRU eviction); <= 0 means
+	// unbounded. Evicted cells fall back to the Store (or recompute).
+	MaxCells int
+}
+
 // Runner executes experiments on a bounded worker pool with a
 // per-experiment result cache. The co-simulator is deterministic, so a
 // cached Result is indistinguishable from a fresh run; cached results are
@@ -68,23 +98,42 @@ type cell struct {
 //
 // A Runner is safe for concurrent use.
 type Runner struct {
-	workers int
+	workers  int
+	store    Store
+	maxCells int
 
 	mu    sync.Mutex
-	cells map[cacheKey]*cell
+	cells map[cacheKey]*list.Element
+	lru   *list.List // front = most recently used *lruEntry
+	stats CacheStats
 }
 
 // NewRunner returns a runner with the given worker-pool bound; workers <= 0
 // selects GOMAXPROCS.
 func NewRunner(workers int) *Runner {
+	return NewRunnerWith(RunnerOptions{Workers: workers})
+}
+
+// NewRunnerWith returns a runner configured by opts.
+func NewRunnerWith(opts RunnerOptions) *Runner {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{workers: workers, cells: map[cacheKey]*cell{}}
+	return &Runner{
+		workers:  workers,
+		store:    opts.Store,
+		maxCells: opts.MaxCells,
+		cells:    map[cacheKey]*list.Element{},
+		lru:      list.New(),
+	}
 }
 
 // Workers returns the worker-pool bound.
 func (r *Runner) Workers() int { return r.workers }
+
+// Store returns the persistent backend, or nil.
+func (r *Runner) Store() Store { return r.store }
 
 // CacheSize returns the number of memoized experiment cells.
 func (r *Runner) CacheSize() int {
@@ -93,26 +142,142 @@ func (r *Runner) CacheSize() int {
 	return len(r.cells)
 }
 
-func (r *Runner) cell(k cacheKey) *cell {
+// Snapshot returns a copy of the cache counters at this instant.
+func (r *Runner) Snapshot() CacheStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.cells[k]
-	if !ok {
-		c = &cell{}
-		r.cells[k] = c
+	return r.stats
+}
+
+// cell returns the memo cell for k, creating (and LRU-accounting) it on a
+// miss; created reports whether this call created it.
+func (r *Runner) cell(k cacheKey) (c *cell, created bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.cells[k]; ok {
+		r.lru.MoveToFront(el)
+		r.stats.MemHits++
+		return el.Value.(*lruEntry).c, false
 	}
-	return c
+	r.stats.MemMisses++
+	c = &cell{}
+	r.cells[k] = r.lru.PushFront(&lruEntry{key: k, c: c})
+	if r.maxCells > 0 {
+		for r.lru.Len() > r.maxCells {
+			// Evicting an in-flight cell is safe: goroutines already
+			// holding the pointer finish on it, and a later request either
+			// re-loads from the store or recomputes.
+			back := r.lru.Back()
+			delete(r.cells, back.Value.(*lruEntry).key)
+			r.lru.Remove(back)
+			r.stats.Evictions++
+		}
+	}
+	return c, true
+}
+
+func (r *Runner) bump(f func(*CacheStats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
 }
 
 // Run executes one experiment, memoized: the first request for a cell
-// compiles and simulates it, every later request (including a concurrent
-// duplicate) returns the stored result.
+// consults the persistent store, then compiles and simulates on a store
+// miss; every later request (including a concurrent duplicate) returns the
+// stored result. Fresh results are saved back to the store.
 func (r *Runner) Run(e Experiment, opts RunOptions) (Result, error) {
-	c := r.cell(cacheKey{exp: e, recordTrace: opts.RecordTrace, skipVerify: opts.SkipVerify})
+	c, _ := r.cell(keyOf(e, opts))
 	c.once.Do(func() {
+		if r.store != nil {
+			res, ok, err := r.store.Load(e, opts)
+			switch {
+			case err != nil:
+				r.bump(func(s *CacheStats) { s.StoreErrors++ })
+			case ok:
+				r.bump(func(s *CacheStats) { s.StoreHits++ })
+				c.res = res
+				return
+			default:
+				r.bump(func(s *CacheStats) { s.StoreMisses++ })
+			}
+		}
 		c.res, c.err = RunExperiment(e, opts)
+		r.bump(func(s *CacheStats) { s.Runs++ })
+		if r.store != nil && c.err == nil {
+			if err := r.store.Save(e, opts, c.res); err != nil {
+				r.bump(func(s *CacheStats) { s.StoreErrors++ })
+			}
+		}
 	})
 	return c.res, c.err
+}
+
+// Warm populates the in-memory cell map from the persistent store without
+// computing anything, and returns how many cells it loaded. Cells already
+// in memory, absent from the store, or unreadable are skipped. A Runner
+// with no store warms nothing.
+func (r *Runner) Warm(exps []Experiment, opts RunOptions) int {
+	if r.store == nil {
+		return 0
+	}
+	warmed := 0
+	for _, e := range exps {
+		k := keyOf(e, opts)
+		r.mu.Lock()
+		_, inMem := r.cells[k]
+		r.mu.Unlock()
+		if inMem {
+			continue
+		}
+		res, ok, err := r.store.Load(e, opts)
+		if err != nil {
+			r.bump(func(s *CacheStats) { s.StoreErrors++ })
+			continue
+		}
+		if !ok {
+			continue
+		}
+		c, _ := r.cell(k)
+		loaded := false
+		// A concurrent Run may have claimed the cell between the lookups;
+		// its once wins and this load is discarded.
+		c.once.Do(func() {
+			c.res = res
+			loaded = true
+		})
+		if loaded {
+			r.bump(func(s *CacheStats) { s.StoreHits++ })
+			warmed++
+		}
+	}
+	return warmed
+}
+
+// Missing filters exps down to the cells that would actually compute: not
+// in the in-memory map and not loadable from the store. It is the planning
+// half of sweep resume — after a crash, Missing lists the unfinished cells.
+func (r *Runner) Missing(exps []Experiment, opts RunOptions) []Experiment {
+	var missing []Experiment
+	for _, e := range exps {
+		k := keyOf(e, opts)
+		r.mu.Lock()
+		_, inMem := r.cells[k]
+		r.mu.Unlock()
+		if inMem {
+			continue
+		}
+		if r.store != nil {
+			_, ok, err := r.store.Load(e, opts)
+			if err != nil {
+				r.bump(func(s *CacheStats) { s.StoreErrors++ })
+			} else if ok {
+				continue
+			}
+		}
+		missing = append(missing, e)
+	}
+	return missing
 }
 
 // RunAll executes the experiments concurrently on the worker pool and
@@ -171,4 +336,24 @@ func Sweep(targets, workloads []string, pipelines []Pipeline, sizes []int) []Exp
 		}
 	}
 	return exps
+}
+
+// Shard returns the i-th of m strided partitions of exps (elements i, i+m,
+// i+2m, ...). The m shards of one sweep are disjoint and cover it exactly,
+// so a figure grid can be split across processes that share a persistent
+// store: each process runs its shard, and a final pass reads every cell
+// back. Striding (rather than chunking) spreads the expensive large-n
+// cells of a row-major sweep evenly across shards.
+func Shard(exps []Experiment, i, m int) ([]Experiment, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("shard: count %d < 1", m)
+	}
+	if i < 0 || i >= m {
+		return nil, fmt.Errorf("shard: index %d out of range [0,%d)", i, m)
+	}
+	var part []Experiment
+	for j := i; j < len(exps); j += m {
+		part = append(part, exps[j])
+	}
+	return part, nil
 }

@@ -157,8 +157,24 @@ func (mc *Machine) stallUntilIdle() {
 	}
 }
 
-// Run executes the program from instruction 0 until HALT.
+// reset clears all per-run state so a Machine can execute consecutive
+// programs without the first run's clock, counters or trace leaking into
+// the second's measurements. Registers are kept: callers set up arguments
+// before Run, and register contents carry no timing state.
+func (mc *Machine) reset() {
+	mc.Counters = Counters{}
+	mc.Trace = nil
+	mc.now = 0
+	mc.busyUntil = 0
+	mc.lastJob = accel.Launch{}
+}
+
+// Run executes the program from instruction 0 until HALT. Each call starts
+// from a clean clock, counters and trace, so reusing a Machine is safe; on
+// error, Cycles still reflects the time reached so partial runs are not
+// reported as zero-cycle.
 func (mc *Machine) Run(p *riscv.Program) error {
+	mc.reset()
 	limit := mc.MaxInstrs
 	if limit == 0 {
 		limit = 1 << 31
@@ -166,6 +182,7 @@ func (mc *Machine) Run(p *riscv.Program) error {
 	pc := 0
 	for {
 		if pc < 0 || pc >= len(p.Instrs) {
+			mc.Cycles = mc.now
 			return fmt.Errorf("sim: pc %d out of range (program has %d instructions)", pc, len(p.Instrs))
 		}
 		ins := p.Instrs[pc]
@@ -181,10 +198,12 @@ func (mc *Machine) Run(p *riscv.Program) error {
 			return nil
 		}
 		if mc.HostInstrs >= limit {
+			mc.Cycles = mc.now
 			return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", limit)
 		}
 		next, err := mc.step(p, pc, ins)
 		if err != nil {
+			mc.Cycles = mc.now
 			return fmt.Errorf("sim: at pc %d (%s): %w", pc, ins, err)
 		}
 		pc = next
@@ -357,7 +376,9 @@ func (mc *Machine) step(p *riscv.Program, pc int, ins riscv.Instr) (int, error) 
 			return 0, err
 		}
 	case riscv.CSRRS:
-		mc.csrRead(uint32(ins.Imm), setRd, charge)
+		if err := mc.csrRead(uint32(ins.Imm), setRd, charge); err != nil {
+			return 0, err
+		}
 	default:
 		return 0, fmt.Errorf("unimplemented opcode %s", ins.Op)
 	}
@@ -413,12 +434,16 @@ func (mc *Machine) csrWrite(addr uint32, value int64, charge func(SegmentKind)) 
 }
 
 // csrRead handles status/perf CSR reads.
-func (mc *Machine) csrRead(addr uint32, setRd func(int64), charge func(SegmentKind)) {
+func (mc *Machine) csrRead(addr uint32, setRd func(int64), charge func(SegmentKind)) error {
+	dev := mc.Device
+	if dev == nil {
+		return fmt.Errorf("csr read with no device attached")
+	}
 	busy := int64(0)
 	if mc.now < mc.busyUntil {
 		busy = 1
 	}
-	if id, ok := mc.Device.StatusID(); ok && addr == id {
+	if id, ok := dev.StatusID(); ok && addr == id {
 		setRd(busy)
 	} else {
 		setRd(int64(mc.lastJob.Cycles))
@@ -426,6 +451,7 @@ func (mc *Machine) csrRead(addr uint32, setRd func(int64), charge func(SegmentKi
 	// Busy polls are waiting, not useful work: paint them as stalls so
 	// overlap accounting (Figure 7) only counts hidden *work*.
 	charge(SegHostStall)
+	return nil
 }
 
 // launch starts a job at the current time.

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"strings"
 	"testing"
 
 	"configwall/internal/accel"
@@ -298,4 +299,98 @@ func TestRunawayPCError(t *testing.T) {
 	if err := mc.Run(p); err == nil {
 		t.Error("expected pc-out-of-range error")
 	}
+}
+
+// TestCSRReadNoDeviceErrors: a CSRRS with no device attached must surface
+// an error like CUSTOM and CSRRW do, not dereference a nil Device.
+func TestCSRReadNoDeviceErrors(t *testing.T) {
+	mc := newMachine(nil)
+	p := assemble(t, func(a *riscv.Assembler) {
+		a.Emit(riscv.Instr{Op: riscv.CSRRS, Rd: 5, Imm: 0x3cc, Class: riscv.ClassSync})
+	})
+	err := mc.Run(p)
+	if err == nil {
+		t.Fatal("expected error for CSR read with no device attached")
+	}
+	if !strings.Contains(err.Error(), "no device") {
+		t.Errorf("error %q does not mention the missing device", err)
+	}
+}
+
+// TestMachineReuseResetsState: a second Run on the same machine must
+// measure from a clean clock, counters and trace — nothing of the first
+// run may accumulate into the second's measurements.
+func TestMachineReuseResetsState(t *testing.T) {
+	dev := &fakeDevice{scheme: accel.Sequential, busyCycles: 30, opsPerLaunch: 64}
+	mc := newMachine(dev)
+	mc.RecordTrace = true
+	p := assemble(t, func(a *riscv.Assembler) {
+		a.Emit(riscv.Instr{Op: riscv.LI, Rd: 5, Imm: 1})
+		a.Emit(riscv.Instr{Op: riscv.CUSTOM, Funct7: 99, Class: riscv.ClassConfig})
+	})
+	if err := mc.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	first := mc.Counters
+	firstTrace := len(mc.Trace)
+	if err := mc.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Counters != first {
+		t.Errorf("second run accumulated state:\nfirst:  %+v\nsecond: %+v", first, mc.Counters)
+	}
+	if len(mc.Trace) != firstTrace {
+		t.Errorf("second run trace has %d segments, want %d (fresh trace)", len(mc.Trace), firstTrace)
+	}
+	for _, s := range mc.Trace {
+		if s.Start > mc.Cycles || s.End > mc.Cycles {
+			t.Errorf("second-run segment %+v exceeds run length %d (stale clock)", s, mc.Cycles)
+		}
+	}
+}
+
+// TestCyclesSetOnError: a run that fails mid-program must still report the
+// simulated time it reached instead of leaving Cycles zero — downstream
+// ops-per-cycle math treats 0 as "no data".
+func TestCyclesSetOnError(t *testing.T) {
+	t.Run("instruction limit", func(t *testing.T) {
+		mc := newMachine(nil)
+		mc.MaxInstrs = 50
+		p := assemble(t, func(a *riscv.Assembler) {
+			a.Label("forever")
+			a.Emit(riscv.Instr{Op: riscv.JAL, Label: "forever"})
+		})
+		if err := mc.Run(p); err == nil {
+			t.Fatal("expected instruction-limit error")
+		}
+		if mc.Cycles == 0 {
+			t.Error("Cycles = 0 after limit error, want elapsed time")
+		}
+	})
+	t.Run("launch failure", func(t *testing.T) {
+		dev := &fakeDevice{scheme: accel.Sequential, launchErr: accel.ErrBadConfig("fake", "boom")}
+		mc := newMachine(dev)
+		p := assemble(t, func(a *riscv.Assembler) {
+			a.Emit(riscv.Instr{Op: riscv.LI, Rd: 5, Imm: 1})
+			a.Emit(riscv.Instr{Op: riscv.CUSTOM, Funct7: 99, Class: riscv.ClassConfig})
+		})
+		if err := mc.Run(p); err == nil {
+			t.Fatal("expected launch error")
+		}
+		if mc.Cycles == 0 {
+			t.Error("Cycles = 0 after launch error, want elapsed time")
+		}
+	})
+	t.Run("pc out of range", func(t *testing.T) {
+		mc := newMachine(nil)
+		a := riscv.NewAssembler()
+		a.Emit(riscv.Instr{Op: riscv.NOP})
+		p, _ := a.Finish()
+		if err := mc.Run(p); err == nil {
+			t.Fatal("expected pc-out-of-range error")
+		}
+		if mc.Cycles == 0 {
+			t.Error("Cycles = 0 after pc error, want elapsed time")
+		}
+	})
 }

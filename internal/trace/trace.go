@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"configwall/internal/sim"
@@ -93,27 +94,63 @@ func Summarize(segs []sim.Segment) Summary {
 
 // OverlapCycles estimates how many cycles of host activity were hidden
 // behind accelerator execution: the overlap between host exec/config
-// segments and accelerator busy segments.
+// segments and the union of accelerator busy intervals.
+//
+// Instead of testing every host segment against every busy segment
+// (quadratic in the trace length — painful on big-n timelines with tens of
+// thousands of segments), the busy intervals are merged into a sorted
+// disjoint set once, and each host segment binary-searches its first
+// overlapping interval. Merged disjoint intervals have monotonic ends, so
+// the search is sound and each host segment only walks intervals it
+// actually overlaps.
 func OverlapCycles(segs []sim.Segment) uint64 {
-	var busy []sim.Segment
-	for _, s := range segs {
-		if s.Kind == sim.SegAccelBusy {
-			busy = append(busy, s)
-		}
+	busy := mergedBusyIntervals(segs)
+	if len(busy) == 0 {
+		return 0
 	}
 	var total uint64
 	for _, s := range segs {
 		if s.Kind != sim.SegHostExec && s.Kind != sim.SegHostConfig {
 			continue
 		}
-		for _, b := range busy {
-			lo, hi := max64(s.Start, b.Start), min64(s.End, b.End)
+		// First busy interval ending after the host segment starts.
+		i := sort.Search(len(busy), func(i int) bool { return busy[i].End > s.Start })
+		for ; i < len(busy) && busy[i].Start < s.End; i++ {
+			lo, hi := max64(s.Start, busy[i].Start), min64(s.End, busy[i].End)
 			if hi > lo {
 				total += hi - lo
 			}
 		}
 	}
 	return total
+}
+
+// mergedBusyIntervals extracts the accelerator-busy segments as a sorted,
+// disjoint interval set (overlapping or adjacent busy segments coalesce,
+// so a cycle hidden behind two overlapping jobs still counts once).
+func mergedBusyIntervals(segs []sim.Segment) []sim.Segment {
+	var busy []sim.Segment
+	for _, s := range segs {
+		if s.Kind == sim.SegAccelBusy && s.End > s.Start {
+			busy = append(busy, s)
+		}
+	}
+	if len(busy) == 0 {
+		return nil
+	}
+	sort.Slice(busy, func(i, j int) bool { return busy[i].Start < busy[j].Start })
+	merged := busy[:1]
+	for _, b := range busy[1:] {
+		last := &merged[len(merged)-1]
+		if b.Start <= last.End {
+			if b.End > last.End {
+				last.End = b.End
+			}
+			continue
+		}
+		merged = append(merged, b)
+	}
+	return merged
 }
 
 func max64(a, b uint64) uint64 {

@@ -1,6 +1,7 @@
 package trace_test
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -105,5 +106,113 @@ func TestOverlapCycles(t *testing.T) {
 	}
 	if got := trace.OverlapCycles(nil); got != 0 {
 		t.Errorf("OverlapCycles(nil) = %d, want 0", got)
+	}
+}
+
+// overlapCyclesQuadratic is the replaced O(segments²) scan, kept as the
+// reference oracle for the sweep implementation.
+func overlapCyclesQuadratic(segs []sim.Segment) uint64 {
+	var busy []sim.Segment
+	for _, s := range segs {
+		if s.Kind == sim.SegAccelBusy {
+			busy = append(busy, s)
+		}
+	}
+	var total uint64
+	for _, s := range segs {
+		if s.Kind != sim.SegHostExec && s.Kind != sim.SegHostConfig {
+			continue
+		}
+		for _, b := range busy {
+			lo, hi := s.Start, s.End
+			if b.Start > lo {
+				lo = b.Start
+			}
+			if b.End < hi {
+				hi = b.End
+			}
+			if hi > lo {
+				total += hi - lo
+			}
+		}
+	}
+	return total
+}
+
+// randomTimeline builds a machine-shaped random trace: host segments of
+// mixed kinds walking forward in time, with non-overlapping accelerator
+// busy intervals (the co-simulator's clock is monotonic and jobs
+// serialize, so real traces never overlap busy segments).
+func randomTimeline(rng *rand.Rand, n int) []sim.Segment {
+	var segs []sim.Segment
+	hostNow, accelNow := uint64(0), uint64(0)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0: // accelerator job
+			start := accelNow + uint64(rng.Intn(20))
+			end := start + 1 + uint64(rng.Intn(50))
+			segs = append(segs, sim.Segment{Kind: sim.SegAccelBusy, Start: start, End: end})
+			accelNow = end
+		case 1:
+			hostNow += uint64(rng.Intn(10))
+			end := hostNow + 1 + uint64(rng.Intn(30))
+			segs = append(segs, sim.Segment{Kind: sim.SegHostStall, Start: hostNow, End: end})
+			hostNow = end
+		default:
+			kind := sim.SegHostExec
+			if rng.Intn(2) == 0 {
+				kind = sim.SegHostConfig
+			}
+			hostNow += uint64(rng.Intn(5))
+			end := hostNow + 1 + uint64(rng.Intn(25))
+			segs = append(segs, sim.Segment{Kind: kind, Start: hostNow, End: end})
+			hostNow = end
+		}
+	}
+	return segs
+}
+
+// TestOverlapCyclesMatchesQuadratic cross-checks the sorted sweep against
+// the quadratic oracle on randomized machine-shaped timelines.
+func TestOverlapCyclesMatchesQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		segs := randomTimeline(rng, 1+rng.Intn(120))
+		want := overlapCyclesQuadratic(segs)
+		if got := trace.OverlapCycles(segs); got != want {
+			t.Fatalf("trial %d: OverlapCycles = %d, quadratic oracle = %d\nsegs: %+v", trial, got, want, segs)
+		}
+	}
+}
+
+// TestOverlapCyclesCoalescesOverlappingBusy: should a trace ever contain
+// overlapping busy intervals, a hidden host cycle counts once (union
+// semantics), not once per busy segment.
+func TestOverlapCyclesCoalescesOverlappingBusy(t *testing.T) {
+	segs := []sim.Segment{
+		{Kind: sim.SegAccelBusy, Start: 0, End: 60},
+		{Kind: sim.SegAccelBusy, Start: 40, End: 100}, // overlaps the first
+		{Kind: sim.SegHostExec, Start: 30, End: 70},   // inside the union
+	}
+	if got := trace.OverlapCycles(segs); got != 40 {
+		t.Errorf("OverlapCycles = %d, want 40 (union, not double-counted)", got)
+	}
+}
+
+func BenchmarkOverlapCycles(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	segs := randomTimeline(rng, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.OverlapCycles(segs)
+	}
+}
+
+func BenchmarkOverlapCyclesQuadraticReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	segs := randomTimeline(rng, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		overlapCyclesQuadratic(segs)
 	}
 }
