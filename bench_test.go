@@ -367,6 +367,51 @@ func BenchmarkSweep_StoreWrite(b *testing.B) {
 	b.ReportMetric(float64(len(exps)), "experiments")
 }
 
+// --- Differential-verification benchmarks (DESIGN.md §5) ---
+
+// BenchmarkIRGen measures random-program generation throughput: one seeded
+// module per iteration, alternating targets so both profiles stay hot.
+func BenchmarkIRGen(b *testing.B) {
+	targets := configwall.TargetNames()
+	var ops int
+	for i := 0; i < b.N; i++ {
+		target := targets[i%len(targets)]
+		prog, err := configwall.GenerateFuzzProgram(target, configwall.FuzzSeed(1, target, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = prog.Stats.Ops()
+	}
+	b.ReportMetric(float64(ops), "program_ops")
+}
+
+// BenchmarkDiffOracle measures one full differential check per iteration:
+// base plus every optimization pipeline, compiled and co-simulated, memory
+// and launch-effect comparison included.
+func BenchmarkDiffOracle(b *testing.B) {
+	targets := configwall.TargetNames()
+	for _, name := range targets {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			t, err := configwall.LookupTarget(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := configwall.GenerateFuzzProgram(name, configwall.FuzzSeed(1, name, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				rep := configwall.DiffCheck(t, prog, configwall.DiffOptions{})
+				if rep.Invalid || rep.Diverged() {
+					b.Fatalf("oracle failed on a known-clean program: %+v", rep)
+				}
+			}
+			b.ReportMetric(float64(len(configwall.Pipelines)-1), "pipelines/check")
+		})
+	}
+}
+
 // Sanity: the benchmark harness prints a one-line summary when verbose.
 func Example_benchmarkCatalogue() {
 	fmt.Println("benchmarks map 1:1 to the paper's tables and figures; see DESIGN.md")

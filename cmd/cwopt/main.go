@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	_ "configwall/internal/dialects/accfg"
@@ -69,12 +70,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		names := make([]string, 0, len(available))
-		for n := range available {
-			names = append(names, n)
-		}
-		sortStrings(names)
-		for _, n := range names {
+		for _, n := range availableNames() {
 			fmt.Println(n)
 		}
 		return
@@ -106,17 +102,9 @@ func main() {
 		fatal("input does not verify: %v", err)
 	}
 
-	pm := ir.NewPassManager()
-	pm.VerifyEach = *verify
-	if *pipeline != "" {
-		for _, name := range strings.Split(*pipeline, ",") {
-			name = strings.TrimSpace(name)
-			ctor, ok := available[name]
-			if !ok {
-				fatal("unknown pass %q (use -list)", name)
-			}
-			pm.Add(ctor())
-		}
+	pm, err := buildPipeline(*pipeline, *verify)
+	if err != nil {
+		fatal("%v", err)
 	}
 	if err := pm.Run(m); err != nil {
 		fatal("%v", err)
@@ -129,12 +117,35 @@ func main() {
 	fmt.Print(ir.PrintModule(m))
 }
 
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
+// availableNames returns the registered pipeline names, sorted.
+func availableNames() []string {
+	names := make([]string, 0, len(available))
+	for n := range available {
+		names = append(names, n)
 	}
+	sort.Strings(names)
+	return names
+}
+
+// buildPipeline parses a comma-separated pass spec into a PassManager. An
+// unknown pass name is an error listing every valid name (mirroring
+// cwbench's unknown -only handling), so the driver exits non-zero instead
+// of silently running a partial pipeline.
+func buildPipeline(spec string, verifyEach bool) (*ir.PassManager, error) {
+	pm := ir.NewPassManager()
+	pm.VerifyEach = verifyEach
+	if spec == "" {
+		return pm, nil
+	}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		ctor, ok := available[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown pass %q (valid passes: %s)", name, strings.Join(availableNames(), ", "))
+		}
+		pm.Add(ctor())
+	}
+	return pm, nil
 }
 
 func fatal(format string, args ...any) {

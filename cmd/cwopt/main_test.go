@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuildPipelineUnknownPassListsValidNames: cwopt must reject unknown
+// pass names with an error that enumerates every valid pass (the driver
+// then exits non-zero), mirroring cwbench's unknown -only handling.
+func TestBuildPipelineUnknownPassListsValidNames(t *testing.T) {
+	_, err := buildPipeline("cse,definitely-not-a-pass", true)
+	if err == nil {
+		t.Fatal("unknown pass accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"definitely-not-a-pass"`) {
+		t.Errorf("error does not name the offending pass: %s", msg)
+	}
+	for _, name := range availableNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list valid pass %q: %s", name, msg)
+		}
+	}
+}
+
+// TestBuildPipelineKnownPasses: a valid spec builds the pipeline in order,
+// tolerating whitespace.
+func TestBuildPipelineKnownPasses(t *testing.T) {
+	pm, err := buildPipeline(" canonicalize , cse,accfg-dedup", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pm.Passes()
+	want := []string{"canonicalize", "cse", "accfg-dedup"}
+	if len(got) != len(want) {
+		t.Fatalf("pipeline %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pipeline %v, want %v", got, want)
+		}
+	}
+	if pm.VerifyEach {
+		t.Error("VerifyEach not propagated")
+	}
+}
+
+// TestBuildPipelineEmptySpec: no -p flag means an empty pipeline (print the
+// parsed module unchanged).
+func TestBuildPipelineEmptySpec(t *testing.T) {
+	pm, err := buildPipeline("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pm.Passes()) != 0 {
+		t.Fatalf("expected empty pipeline, got %v", pm.Passes())
+	}
+}
+
+// TestAvailableNamesSortedAndComplete: the listing is sorted and includes
+// the per-target lowerings registered at init.
+func TestAvailableNamesSorted(t *testing.T) {
+	names := availableNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted/unique at %d: %v", i, names)
+		}
+	}
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"cse", "accfg-dedup", "accfg-overlap", "lower-accfg-to-gemmini", "lower-accfg-to-opengemm"} {
+		if !found[want] {
+			t.Errorf("expected pass %q in listing: %v", want, names)
+		}
+	}
+}

@@ -39,6 +39,8 @@ package configwall
 
 import (
 	"configwall/internal/core"
+	"configwall/internal/difftest"
+	"configwall/internal/irgen"
 	"configwall/internal/roofline"
 	"configwall/internal/store"
 )
@@ -211,3 +213,41 @@ func EffectiveConfigBW(configBytes, tCalc, tSet float64) float64 {
 
 // Geomean returns the geometric mean, the paper's summary statistic.
 func Geomean(xs []float64) float64 { return core.Geomean(xs) }
+
+// --- Differential verification (internal/irgen + internal/difftest) ---
+//
+// The fuzzing subsystem behind cmd/cwfuzz: seeded random accfg programs
+// checked for observational equivalence between the Baseline pipeline and
+// every optimization pipeline on the co-simulator.
+
+// FuzzProgram is one generated differential test case.
+type FuzzProgram = irgen.Program
+
+// DiffOptions tunes a differential check.
+type DiffOptions = difftest.Options
+
+// DiffReport is the outcome of one differential check.
+type DiffReport = difftest.Report
+
+// GenerateFuzzProgram builds the seeded random accfg program for a
+// registered target's accelerator. The same (target, seed) pair always
+// yields a byte-identical module and inputs.
+func GenerateFuzzProgram(target string, seed int64) (FuzzProgram, error) {
+	prof, err := irgen.ProfileFor(target)
+	if err != nil {
+		return FuzzProgram{}, err
+	}
+	return irgen.Generate(prof, seed)
+}
+
+// DiffCheck compiles and co-simulates the program through Baseline and
+// every optimization pipeline, asserting observational equivalence and the
+// metamorphic counter bounds.
+func DiffCheck(t Target, prog FuzzProgram, opts DiffOptions) DiffReport {
+	return difftest.Check(t, prog, opts)
+}
+
+// FuzzSeed derives the per-program generator seed used by cwfuzz campaigns.
+func FuzzSeed(campaign int64, target string, index int) int64 {
+	return irgen.DeriveSeed(campaign, target, index)
+}

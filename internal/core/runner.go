@@ -289,9 +289,32 @@ func (r *Runner) RunAll(exps []Experiment, opts RunOptions) ([]Result, error) {
 	results := make([]Result, len(exps))
 	errs := make([]error, len(exps))
 
-	workers := r.workers
-	if workers > len(exps) {
-		workers = len(exps)
+	ParallelEach(len(exps), r.workers, func(i int) {
+		results[i], errs[i] = r.Run(exps[i], opts)
+	})
+
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("experiment %s: %w", exps[i], err)
+		}
+	}
+	return results, nil
+}
+
+// ParallelEach runs fn(i) for every i in [0, n) on a bounded worker pool —
+// the execution backbone shared by Runner.RunAll and the cwfuzz campaign
+// driver. workers <= 0 selects GOMAXPROCS; the pool never exceeds n. fn is
+// responsible for writing its result into an index-addressed slot, which
+// keeps concurrent output deterministic and input-ordered.
+func ParallelEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
@@ -304,22 +327,15 @@ func (r *Runner) RunAll(exps []Experiment, opts RunOptions) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i], errs[i] = r.Run(exps[i], opts)
+				fn(i)
 			}
 		}()
 	}
-	for i := range exps {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-
-	for i, err := range errs {
-		if err != nil {
-			return results, fmt.Errorf("experiment %s: %w", exps[i], err)
-		}
-	}
-	return results, nil
 }
 
 // Sweep builds the full cross product of the given targets, workloads,

@@ -3,6 +3,7 @@ package core_test
 import (
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"configwall/internal/core"
@@ -197,4 +198,24 @@ func TestNewWorkloadsVerify(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestParallelEach: the shared worker-pool primitive visits every index
+// exactly once regardless of worker bound, including the degenerate cases.
+func TestParallelEach(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 64} {
+		const n = 100
+		var visits [n]int32
+		core.ParallelEach(n, workers, func(i int) {
+			atomic.AddInt32(&visits[i], 1)
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+	// n <= 0 must not call fn or hang.
+	core.ParallelEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+	core.ParallelEach(-3, 4, func(int) { t.Fatal("fn called for n<0") })
 }

@@ -1,0 +1,57 @@
+package difftest_test
+
+// Corpus replay: every module under testdata/corpus/ re-runs through the
+// full oracle on every test invocation, forever. cwfuzz writes minimized
+// failing modules here (named <accelerator>-s<seed>.ir — the seed recovers
+// the exact buffer contents and scalar input); once the underlying bug is
+// fixed, the file stays as a permanent regression test. The checked-in
+// anchors are minimized representative programs proving the replay path.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"configwall/internal/difftest"
+)
+
+// TestCorpusNameRoundTrip pins the shared naming convention, including
+// negative seeds and rejection of malformed names.
+func TestCorpusNameRoundTrip(t *testing.T) {
+	for _, seed := range []int64{0, 42, -5712018378018755734} {
+		name := difftest.CorpusName("gemmini", seed)
+		accel, got, ok := difftest.ParseCorpusName(name)
+		if !ok || accel != "gemmini" || got != seed {
+			t.Fatalf("round trip of %q failed: %q %d %v", name, accel, got, ok)
+		}
+	}
+	for _, bad := range []string{"gemmini.ir", "gemmini-s12junk.ir", "gemmini-s12", "-s5.ir"} {
+		if accel, seed, ok := difftest.ParseCorpusName(bad); ok {
+			t.Errorf("malformed name %q parsed as (%q, %d)", bad, accel, seed)
+		}
+	}
+}
+
+func TestCorpusReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.ir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("corpus is empty — the anchor files are missing")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			rep, err := difftest.Replay(file, difftest.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Invalid {
+				t.Fatalf("baseline invalid on corpus module: %s", rep.InvalidReason)
+			}
+			for _, d := range rep.Divergences {
+				t.Errorf("corpus regression: %s", d)
+			}
+		})
+	}
+}

@@ -1,0 +1,421 @@
+// Package difftest is the differential-verification oracle behind cmd/cwfuzz
+// and the corpus regression tests: it lowers, compiles and co-simulates one
+// generated accfg module (internal/irgen) through the Baseline pipeline and
+// every optimization pipeline, then asserts that the optimized executions
+// are observationally identical to the baseline —
+//
+//   - the final memory image (buffer arena and everything below the stack)
+//     is byte-identical,
+//   - the accelerator performed the identical sequence of launch effects
+//     (same launch count, same ops and busy cycles per launch, in order),
+//   - the IR verified cleanly after every pass (PassManager.VerifyEach),
+//
+// plus the paper's metamorphic claims —
+//
+//   - optimized pipelines never write more configuration traffic than the
+//     baseline (except overlap software-pipelining on concurrent-config
+//     hardware, whose loop prologue adds one bounded static setup), and
+//   - optimized pipelines never run slower than the baseline (again modulo
+//     a bounded allowance for overlap's prologue and dead final-iteration
+//     staging writes on tiny jobs).
+//
+// A failing case is a Divergence; the shrinker (shrink.go) reduces the
+// module while the divergence reproduces.
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"configwall/internal/accel"
+	"configwall/internal/codegen"
+	"configwall/internal/core"
+	"configwall/internal/ir"
+	"configwall/internal/irgen"
+	"configwall/internal/mem"
+	"configwall/internal/riscv"
+	"configwall/internal/sim"
+)
+
+// Simulation arena: generated programs are tiny, so the oracle uses a 1 MiB
+// memory (snapshot cost matters at campaign scale). Buffers sit from
+// bufferBase; codegen statics follow; spill frames live at stackBase and are
+// excluded from comparison (register allocation differs across pipelines).
+const (
+	memorySize = 1 << 20
+	bufferBase = 0x1000
+	stackBase  = 0xF0000
+	maxInstrs  = 1 << 24
+)
+
+// Kind classifies a divergence.
+type Kind int
+
+// Divergence kinds, ordered roughly by detection stage.
+const (
+	KindNone Kind = iota
+	// KindPipelineError: a pass or the between-pass verifier failed.
+	KindPipelineError
+	// KindCompileError: codegen rejected the optimized module.
+	KindCompileError
+	// KindSimError: the optimized binary faulted (bad device config,
+	// out-of-range pc, instruction limit) while the baseline ran clean.
+	KindSimError
+	// KindMemory: final memory images differ.
+	KindMemory
+	// KindLaunchCount: the accelerator launched a different number of jobs.
+	KindLaunchCount
+	// KindLaunchEffect: some job performed different work (ops/cycles).
+	KindLaunchEffect
+	// KindConfigWrites: the optimized pipeline wrote more configuration
+	// traffic than the baseline.
+	KindConfigWrites
+	// KindCycles: the optimized pipeline ran slower than allowed.
+	KindCycles
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindPipelineError:
+		return "pipeline-error"
+	case KindCompileError:
+		return "compile-error"
+	case KindSimError:
+		return "sim-error"
+	case KindMemory:
+		return "memory-mismatch"
+	case KindLaunchCount:
+		return "launch-count"
+	case KindLaunchEffect:
+		return "launch-effect"
+	case KindConfigWrites:
+		return "config-write-regression"
+	case KindCycles:
+		return "cycle-regression"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Divergence is one observed base/optimized disagreement.
+type Divergence struct {
+	Kind     Kind
+	Pipeline core.Pipeline
+	Detail   string
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("[%s/%s] %s", d.Pipeline, d.Kind, d.Detail)
+}
+
+// Execution captures everything the oracle compares about one run.
+type Execution struct {
+	sim.Counters
+	// Launches is the ordered launch-effect sequence.
+	Launches []accel.Launch
+	// Mem is the final [0, stackBase) memory image.
+	Mem []byte
+	// ProgramInstrs is the compiled program size.
+	ProgramInstrs int
+}
+
+// Options tunes a check.
+type Options struct {
+	// Pipelines to compare against Baseline; nil selects every registered
+	// optimization pipeline (dedup, overlap, all).
+	Pipelines []core.Pipeline
+	// PipelineFor overrides pass-pipeline construction (nil uses
+	// Target.PassPipeline). Tests inject broken pipelines through it.
+	PipelineFor func(t core.Target, p core.Pipeline) *ir.PassManager
+	// Mutate, when set, is applied to the cloned module of every
+	// *optimization* pipeline before its passes run — the hook the
+	// mutation tests use to model an intentionally broken pass.
+	Mutate func(m *ir.Module) error
+	// CycleSlack returns the allowed optimized-cycle excess over base for
+	// overlap pipelines on concurrent-configuration targets; nil selects
+	// DefaultCycleSlack. Non-overlap pipelines always get zero slack.
+	CycleSlack func(baseCycles uint64) uint64
+}
+
+// DefaultCycleSlack bounds the overhead software pipelining may add on
+// concurrent-configuration hardware: the loop prologue setup plus the dead
+// final-iteration staging writes are static, bounded work that only pays
+// off when jobs outlast configuration streams — on the fuzzer's deliberately
+// tiny jobs it can lose a little. A real scheduling regression shows up far
+// above base/4 + 512 on these programs.
+func DefaultCycleSlack(baseCycles uint64) uint64 { return baseCycles/4 + 512 }
+
+// CorpusName renders the canonical corpus file name for a program, and
+// ParseCorpusName inverts it: "<accelerator>-s<seed>.ir". cwfuzz writes
+// minimized witnesses under this convention and the corpus regression test
+// replays them; both sides share these helpers so the format cannot drift.
+func CorpusName(accel string, seed int64) string {
+	return fmt.Sprintf("%s-s%d.ir", accel, seed)
+}
+
+// ParseCorpusName splits a corpus file base name into accelerator and seed;
+// ok is false for names outside the convention (including trailing garbage
+// after the seed).
+func ParseCorpusName(name string) (accel string, seed int64, ok bool) {
+	base, found := strings.CutSuffix(name, ".ir")
+	if !found {
+		return "", 0, false
+	}
+	i := strings.LastIndex(base, "-s")
+	if i < 1 { // also rejects an empty accelerator name
+		return "", 0, false
+	}
+	seed, err := strconv.ParseInt(base[i+2:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return base[:i], seed, true
+}
+
+// Replay re-checks one corpus module file against the exact inputs that
+// exposed it: the accelerator and seed come from the file name, the module
+// from its contents. Both the cwfuzz -replay flag and the corpus
+// regression test go through here, so replay semantics cannot drift.
+func Replay(path string, opts Options) (Report, error) {
+	accel, seed, ok := ParseCorpusName(filepath.Base(path))
+	if !ok {
+		return Report{}, fmt.Errorf("difftest: corpus file %q must be named <accel>-s<seed>.ir", path)
+	}
+	tgt, err := core.LookupTarget(accel)
+	if err != nil {
+		return Report{}, err
+	}
+	prof, err := irgen.ProfileFor(accel)
+	if err != nil {
+		return Report{}, err
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	m, err := ir.Parse(string(src))
+	if err != nil {
+		return Report{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if err := ir.Verify(m); err != nil {
+		return Report{}, fmt.Errorf("%s does not verify: %w", path, err)
+	}
+	bufs, p := irgen.InputsFor(prof, seed)
+	prog := irgen.Program{Accel: accel, Seed: seed, Module: m, Buffers: bufs, P: p}
+	return Check(tgt, prog, opts), nil
+}
+
+// OptimizationPipelines lists the registered non-baseline pipelines.
+func OptimizationPipelines() []core.Pipeline {
+	var out []core.Pipeline
+	for _, p := range core.Pipelines {
+		if p != core.Baseline {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// hasOverlap reports whether the pipeline schedules configuration overlap.
+func hasOverlap(p core.Pipeline) bool {
+	return p == core.OverlapOnly || p == core.AllOptimizations
+}
+
+// Report is the outcome of checking one program.
+type Report struct {
+	Target string
+	Seed   int64
+	// Invalid marks programs whose *baseline* failed to compile or run —
+	// the oracle then has no reference; campaigns count these separately
+	// and treat any occurrence as a failure of the generator contract.
+	Invalid       bool
+	InvalidReason string
+	// Base carries the baseline execution for metamorphic context.
+	Base Execution
+	// Divergences lists every base/optimized disagreement found.
+	Divergences []Divergence
+}
+
+// Diverged reports whether any pipeline disagreed with the baseline.
+func (r Report) Diverged() bool { return len(r.Divergences) > 0 }
+
+// Check generates nothing: it takes a ready program and compares Baseline
+// against every requested pipeline.
+func Check(t core.Target, prog irgen.Program, opts Options) Report {
+	return CheckModule(t, prog.Module, prog, opts)
+}
+
+// CheckModule is Check with an explicit module (the shrinker calls it with
+// reduced clones while keeping the program's inputs).
+func CheckModule(t core.Target, m *ir.Module, prog irgen.Program, opts Options) Report {
+	rep := Report{Target: t.Name, Seed: prog.Seed}
+	pipelineFor := opts.PipelineFor
+	if pipelineFor == nil {
+		pipelineFor = func(t core.Target, p core.Pipeline) *ir.PassManager { return t.PassPipeline(p) }
+	}
+	pipelines := opts.Pipelines
+	if pipelines == nil {
+		pipelines = OptimizationPipelines()
+	}
+	slack := opts.CycleSlack
+	if slack == nil {
+		slack = DefaultCycleSlack
+	}
+
+	base, kind, err := Execute(t, m, prog, pipelineFor(t, core.Baseline), nil)
+	if err != nil {
+		rep.Invalid = true
+		rep.InvalidReason = fmt.Sprintf("baseline %s: %v", kind, err)
+		return rep
+	}
+	rep.Base = base
+
+	for _, p := range pipelines {
+		exec, kind, err := Execute(t, m, prog, pipelineFor(t, p), opts.Mutate)
+		if err != nil {
+			rep.Divergences = append(rep.Divergences, Divergence{Kind: kind, Pipeline: p, Detail: err.Error()})
+			continue
+		}
+		rep.Divergences = append(rep.Divergences, compare(t, p, base, exec, slack)...)
+	}
+	return rep
+}
+
+// Execute clones m, runs the pass pipeline, compiles and simulates it with
+// the program's inputs, returning the observation. On failure the Kind
+// reports which stage failed.
+func Execute(t core.Target, m *ir.Module, prog irgen.Program, pm *ir.PassManager, mutate func(*ir.Module) error) (Execution, Kind, error) {
+	clone := m.Clone()
+	if mutate != nil {
+		if err := mutate(clone); err != nil {
+			return Execution{}, KindPipelineError, fmt.Errorf("mutate: %w", err)
+		}
+	}
+	if err := pm.Run(clone); err != nil {
+		return Execution{}, KindPipelineError, err
+	}
+
+	bases := make([]uint64, len(prog.Buffers))
+	next := uint64(bufferBase)
+	for i, buf := range prog.Buffers {
+		bases[i] = next
+		next += (buf.Bytes + 63) &^ 63
+	}
+	if next >= stackBase {
+		return Execution{}, KindCompileError, fmt.Errorf("difftest: buffer arena exceeds simulated memory")
+	}
+
+	compiled, _, err := codegen.Compile(clone, "main", codegen.Options{StaticBase: next})
+	if err != nil {
+		return Execution{}, KindCompileError, err
+	}
+
+	memory := mem.New(memorySize)
+	for i, buf := range prog.Buffers {
+		for j, b := range buf.Data {
+			memory.Write8(bases[i]+uint64(j), b)
+		}
+	}
+	memory.ResetCounters()
+
+	rec := &recorder{Device: t.NewDevice()}
+	mc := sim.NewMachine(memory, t.Cost, rec)
+	mc.MaxInstrs = maxInstrs
+	for i := range prog.Buffers {
+		mc.Regs[riscv.A0+riscv.Reg(i)] = int64(bases[i])
+	}
+	mc.Regs[riscv.A0+riscv.Reg(len(prog.Buffers))] = prog.P
+	mc.Regs[riscv.SP] = stackBase
+	if err := mc.Run(compiled); err != nil {
+		return Execution{}, KindSimError, err
+	}
+
+	return Execution{
+		Counters:      mc.Counters,
+		Launches:      rec.launches,
+		Mem:           memory.Snapshot(0, stackBase),
+		ProgramInstrs: len(compiled.Instrs),
+	}, KindNone, nil
+}
+
+// compare asserts the oracle invariants of one optimized execution against
+// the baseline.
+func compare(t core.Target, p core.Pipeline, base, opt Execution, slack func(uint64) uint64) []Divergence {
+	var divs []Divergence
+
+	if len(opt.Launches) != len(base.Launches) {
+		divs = append(divs, Divergence{Kind: KindLaunchCount, Pipeline: p,
+			Detail: fmt.Sprintf("launches: base %d, optimized %d", len(base.Launches), len(opt.Launches))})
+	} else {
+		for i := range base.Launches {
+			if base.Launches[i] != opt.Launches[i] {
+				divs = append(divs, Divergence{Kind: KindLaunchEffect, Pipeline: p,
+					Detail: fmt.Sprintf("launch %d: base {ops %d, cycles %d}, optimized {ops %d, cycles %d}",
+						i, base.Launches[i].Ops, base.Launches[i].Cycles, opt.Launches[i].Ops, opt.Launches[i].Cycles)})
+				break
+			}
+		}
+	}
+
+	if addr, ok := firstMemDiff(base.Mem, opt.Mem); ok {
+		divs = append(divs, Divergence{Kind: KindMemory, Pipeline: p,
+			Detail: fmt.Sprintf("memory differs at %#x: base %#02x, optimized %#02x", addr, base.Mem[addr], opt.Mem[addr])})
+	}
+
+	// Metamorphic bounds. Overlap software-pipelining on concurrent-config
+	// hardware legitimately adds one prologue setup per pipelined loop; all
+	// other pipelines must strictly shrink configuration traffic and time.
+	overlapping := hasOverlap(p) && t.Concurrent
+	if !overlapping {
+		if opt.ConfigInstrs > base.ConfigInstrs || opt.ConfigBytes > base.ConfigBytes {
+			divs = append(divs, Divergence{Kind: KindConfigWrites, Pipeline: p,
+				Detail: fmt.Sprintf("config writes grew: base %d instrs/%d B, optimized %d instrs/%d B",
+					base.ConfigInstrs, base.ConfigBytes, opt.ConfigInstrs, opt.ConfigBytes)})
+		}
+		if opt.Cycles > base.Cycles {
+			divs = append(divs, Divergence{Kind: KindCycles, Pipeline: p,
+				Detail: fmt.Sprintf("cycles grew: base %d, optimized %d", base.Cycles, opt.Cycles)})
+		}
+	} else if allowed := base.Cycles + slack(base.Cycles); opt.Cycles > allowed {
+		divs = append(divs, Divergence{Kind: KindCycles, Pipeline: p,
+			Detail: fmt.Sprintf("cycles grew past the overlap allowance: base %d, allowed %d, optimized %d",
+				base.Cycles, allowed, opt.Cycles)})
+	}
+
+	return divs
+}
+
+// firstMemDiff returns the first differing byte offset.
+func firstMemDiff(a, b []byte) (int, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i, true
+		}
+	}
+	if len(a) != len(b) {
+		return n, true
+	}
+	return 0, false
+}
+
+// recorder wraps a device to capture the launch-effect sequence.
+type recorder struct {
+	accel.Device
+	launches []accel.Launch
+}
+
+func (r *recorder) Launch(m *mem.Memory) (accel.Launch, error) {
+	job, err := r.Device.Launch(m)
+	if err == nil {
+		r.launches = append(r.launches, job)
+	}
+	return job, err
+}

@@ -1,0 +1,183 @@
+package difftest_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"configwall/internal/core"
+	"configwall/internal/dialects/accfg"
+	"configwall/internal/difftest"
+	"configwall/internal/ir"
+	"configwall/internal/irgen"
+)
+
+func targetAndProfile(t *testing.T, name string) (core.Target, irgen.Profile) {
+	t.Helper()
+	tgt, err := core.LookupTarget(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := irgen.ProfileFor(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt, prof
+}
+
+// TestOracleCleanSweep is the in-tree slice of the acceptance run: a seeded
+// batch of generated programs per target must produce zero divergences and
+// zero invalid programs across every registered optimization pipeline. The
+// full 500-program campaign runs as the CI cwfuzz smoke.
+func TestOracleCleanSweep(t *testing.T) {
+	const programs = 40
+	for _, name := range core.TargetNames() {
+		tgt, prof := targetAndProfile(t, name)
+		for i := 0; i < programs; i++ {
+			seed := irgen.DeriveSeed(1, name, i)
+			prog, err := irgen.Generate(prof, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			rep := difftest.Check(tgt, prog, difftest.Options{})
+			if rep.Invalid {
+				t.Errorf("%s seed %d: baseline invalid: %s", name, seed, rep.InvalidReason)
+			}
+			for _, d := range rep.Divergences {
+				t.Errorf("%s seed %d: %s", name, seed, d)
+			}
+		}
+	}
+}
+
+// TestCheckDeterministic: checking the same program twice yields an
+// identical report — the property behind byte-identical campaign reports.
+func TestCheckDeterministic(t *testing.T) {
+	for _, name := range core.TargetNames() {
+		tgt, prof := targetAndProfile(t, name)
+		prog, err := irgen.Generate(prof, irgen.DeriveSeed(7, name, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := difftest.Check(tgt, prog, difftest.Options{})
+		b := difftest.Check(tgt, prog, difftest.Options{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: reports differ between identical checks:\n%+v\n%+v", name, a, b)
+		}
+	}
+}
+
+// misdirectOutput is the injected "broken pass": it rewires the output
+// address of the program's initial full setup to the A-input address, a
+// minimal model of a pass corrupting one configuration field. The first
+// launch then scribbles over the A matrix, a persistent corruption no later
+// launch can mask. The oracle must catch it and the shrinker must reduce
+// the witness.
+func misdirectOutput(accelFieldA, accelFieldB string) func(*ir.Module) error {
+	return func(m *ir.Module) error {
+		var done bool
+		m.Walk(func(op *ir.Op) {
+			s, ok := accfg.AsSetup(op)
+			if !ok || done {
+				return
+			}
+			a := s.FieldValue(accelFieldA)
+			b := s.FieldValue(accelFieldB)
+			if a == nil || b == nil {
+				return
+			}
+			base := 0
+			if s.HasInState() {
+				base = 1
+			}
+			for i, name := range s.FieldNames() {
+				if name == accelFieldB {
+					s.Op.SetOperand(base+i, a)
+					done = true
+					return
+				}
+			}
+		})
+		if !done {
+			return fmt.Errorf("mutation found no setup with both %s and %s", accelFieldA, accelFieldB)
+		}
+		return nil
+	}
+}
+
+// TestMutationCaughtAndShrunk: an intentionally broken pipeline must be
+// detected as a divergence, and the shrinker must produce a strictly
+// smaller module that still reproduces it.
+func TestMutationCaughtAndShrunk(t *testing.T) {
+	cases := []struct {
+		target string
+		fieldA string
+		fieldB string
+	}{
+		{"gemmini", "A", "C"},
+		{"opengemm", "ptr_a", "ptr_c"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.target, func(t *testing.T) {
+			tgt, prof := targetAndProfile(t, tc.target)
+			prog, err := irgen.Generate(prof, irgen.DeriveSeed(2, tc.target, 11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := difftest.Options{
+				Pipelines: []core.Pipeline{core.DedupOnly},
+				Mutate:    misdirectOutput(tc.fieldA, tc.fieldB),
+			}
+			rep := difftest.Check(tgt, prog, opts)
+			if rep.Invalid {
+				t.Fatalf("baseline invalid: %s", rep.InvalidReason)
+			}
+			if !rep.Diverged() {
+				t.Fatal("oracle missed the injected mutation")
+			}
+			want := rep.Divergences[0]
+			if want.Kind != difftest.KindMemory && want.Kind != difftest.KindLaunchEffect {
+				t.Fatalf("unexpected divergence kind for a corrupted address: %s", want)
+			}
+
+			before := ir.CountOps(prog.Module)
+			sh := difftest.Shrink(tgt, prog, want, opts)
+			if sh.Ops >= before {
+				t.Fatalf("shrinker made no progress: %d -> %d ops (steps %d, attempts %d)", before, sh.Ops, sh.Steps, sh.Attempts)
+			}
+			// The minimized witness must still reproduce the same divergence.
+			min := difftest.CheckModule(tgt, sh.Module, prog, opts)
+			found := false
+			for _, d := range min.Divergences {
+				if d.Kind == want.Kind && d.Pipeline == want.Pipeline {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("minimized module no longer reproduces %s:\n%s", want, ir.PrintModule(sh.Module))
+			}
+			// And it must still be a well-formed, replayable module.
+			if err := ir.Verify(sh.Module); err != nil {
+				t.Fatalf("minimized module does not verify: %v", err)
+			}
+			t.Logf("%s: shrank %d -> %d ops in %d steps (%d attempts)", tc.target, before, sh.Ops, sh.Steps, sh.Attempts)
+		})
+	}
+}
+
+// TestMetamorphicCountersHold: on the paper-shaped workload programs the
+// dedup pipelines must strictly reduce configuration traffic, which the
+// oracle asserts as an invariant rather than a statistic.
+func TestMetamorphicCountersHold(t *testing.T) {
+	for _, name := range core.TargetNames() {
+		tgt, prof := targetAndProfile(t, name)
+		prog, err := irgen.Generate(prof, irgen.DeriveSeed(3, name, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := difftest.Check(tgt, prog, difftest.Options{Pipelines: []core.Pipeline{core.DedupOnly}})
+		if rep.Invalid || rep.Diverged() {
+			t.Fatalf("%s: unexpected result: %+v", name, rep)
+		}
+	}
+}

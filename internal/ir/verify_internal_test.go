@@ -1,0 +1,30 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVerifyCatchesUseListCorruption reaches into the package internals to
+// break the invariant no public API can: an operand whose value no longer
+// records the use. Pass bugs that splice operand lists by hand would
+// surface exactly like this.
+func TestVerifyCatchesUseListCorruption(t *testing.T) {
+	m := NewModule()
+	def := NewOp("test.def", nil, []Type{I64})
+	m.Block().Append(def)
+	use := NewOp("test.use", []*Value{def.Result(0)}, nil)
+	m.Block().Append(use)
+
+	if err := Verify(m); err != nil {
+		t.Fatalf("well-formed module rejected: %v", err)
+	}
+	def.Result(0).uses = nil
+	err := Verify(m)
+	if err == nil {
+		t.Fatal("verifier accepted a corrupted use list")
+	}
+	if !strings.Contains(err.Error(), "missing from use list") {
+		t.Fatalf("error = %q, want use-list diagnostic", err)
+	}
+}

@@ -1,0 +1,571 @@
+package irgen
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"configwall/internal/dialects/accfg"
+	"configwall/internal/dialects/arith"
+	"configwall/internal/dialects/fnc"
+	"configwall/internal/dialects/memref"
+	"configwall/internal/dialects/scf"
+	"configwall/internal/ir"
+)
+
+// Program is one generated test case: the accfg-level module plus the
+// deterministic execution inputs it expects (buffer contents and the scalar
+// parameter). The module's "main" takes one memref argument per buffer, in
+// order, followed by one i64 scalar.
+type Program struct {
+	// Accel is the accelerator the program configures.
+	Accel string
+	// Seed reproduces the program (and its inputs) exactly.
+	Seed int64
+	// Module is the generated IR; it verifies.
+	Module *ir.Module
+	// Buffers lists the argument buffers with their initial contents.
+	Buffers []BufferData
+	// P is the runtime value of the trailing scalar argument.
+	P int64
+	// Stats summarizes the generated structure.
+	Stats Stats
+}
+
+// BufferData is one argument buffer instance.
+type BufferData struct {
+	Name  string
+	Bytes uint64
+	// Data is the initial contents (nil = zeroed).
+	Data []byte
+}
+
+// Stats counts the structural features of a generated program.
+type Stats struct {
+	Loops, Ifs, Setups, Launches, Awaits, NoiseOps, Stores int
+}
+
+// Ops returns a rough size measure for reporting.
+func (s Stats) Ops() int {
+	return s.Loops + s.Ifs + s.Setups + s.Launches + s.Awaits + s.NoiseOps + s.Stores
+}
+
+// DeriveSeed maps a campaign seed, target name and program index to the
+// per-program generator seed, decorrelating neighbouring indices (splitmix64
+// finalizer over an FNV-mixed target hash). cwfuzz prints per-program seeds
+// derived with this function, so a report line is enough to reproduce.
+func DeriveSeed(campaign int64, target string, index int) int64 {
+	h := uint64(campaign) ^ 0xcbf29ce484222325
+	for _, c := range []byte(target) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	h += uint64(index) * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h)
+}
+
+// InputsFor derives the deterministic execution inputs (buffer contents and
+// scalar parameter) for a profile and seed. Inputs depend only on (profile,
+// seed) — not on the module — so a shrunk module replays against the same
+// data that exposed the original divergence.
+func InputsFor(prof Profile, seed int64) ([]BufferData, int64) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eedf00d))
+	bufs := make([]BufferData, len(prof.Buffers))
+	for i, bs := range prof.Buffers {
+		bd := BufferData{Name: bs.Name, Bytes: uint64(bs.Bytes())}
+		if bs.Input {
+			data := make([]byte, bs.Bytes())
+			for j := range data {
+				data[j] = byte(rng.Intn(256))
+			}
+			bd.Data = data
+		}
+		bufs[i] = bd
+	}
+	// Small scalar so generated comparisons against small constants take
+	// both outcomes across seeds.
+	return bufs, rng.Int63n(16)
+}
+
+// generation tuning knobs (kept as constants so campaigns stay comparable
+// across runs; randomness comes exclusively from the seeded rng).
+const (
+	maxDepth       = 2 // control-flow nesting below the function body
+	maxTopChunks   = 6
+	minTopChunks   = 3
+	maxShiftAmount = 8 // literal shift amounts stay well under the 63-bit mask
+)
+
+// Generate builds the random program for a profile and seed. The same
+// (profile, seed) pair always returns a byte-identical module and inputs.
+func Generate(prof Profile, seed int64) (Program, error) {
+	g := &gen{
+		rng:  rand.New(rand.NewSource(seed)),
+		prof: prof,
+	}
+
+	m := ir.NewModule()
+	var argTypes []ir.Type
+	for _, b := range prof.Buffers {
+		argTypes = append(argTypes, b.Type())
+	}
+	argTypes = append(argTypes, ir.I64)
+	f := fnc.NewFunc("main", ir.FuncType(argTypes, nil))
+	m.Append(f.Op)
+
+	b := ir.AtEnd(f.Body())
+	g.bases = make([]*ir.Value, len(prof.Buffers))
+	g.bufArgs = make([]*ir.Value, len(prof.Buffers))
+	for i := range prof.Buffers {
+		g.bufArgs[i] = f.Body().Arg(i)
+		if i == prof.Scratch {
+			continue
+		}
+		g.bases[i] = memref.NewExtractPointer(b, f.Body().Arg(i))
+		g.bases[i].SetName("base" + prof.Buffers[i].Name)
+	}
+	g.scratch = f.Body().Arg(prof.Scratch)
+	g.p = f.Body().Arg(len(prof.Buffers))
+	g.p.SetName("p")
+
+	s := &scope{b: b}
+	s.inv = append(s.inv, g.p)
+
+	// Every program starts with a full, valid configuration and one
+	// launch/await pair: after this prologue the device registers hold safe
+	// values for every field, so later partial rewrites (which always write
+	// safe values themselves) can never produce an invalid launch.
+	g.emitSetup(s, g.allGroups(), false)
+	g.emitLaunch(s, true)
+
+	for n := minTopChunks + g.rng.Intn(maxTopChunks-minTopChunks+1); n > 0; n-- {
+		g.chunk(s)
+	}
+	fnc.NewReturn(b)
+
+	if err := ir.Verify(m); err != nil {
+		return Program{}, fmt.Errorf("irgen: generated module for seed %d does not verify: %w", seed, err)
+	}
+
+	bufs, p := InputsFor(prof, seed)
+	return Program{
+		Accel:   prof.Accel,
+		Seed:    seed,
+		Module:  m,
+		Buffers: bufs,
+		P:       p,
+		Stats:   g.stats,
+	}, nil
+}
+
+// gen carries generation state shared across scopes.
+type gen struct {
+	rng     *rand.Rand
+	prof    Profile
+	stats   Stats
+	bases   []*ir.Value // i64 base address per buffer (nil for scratch)
+	bufArgs []*ir.Value // memref arguments, in signature order
+	scratch *ir.Value   // scratch memref argument
+	p       *ir.Value   // scalar i64 argument
+}
+
+// scope is one generation context: an insertion point plus everything
+// visible there. Child scopes copy the value pools so definitions made
+// inside nested regions never leak into enclosing code (dominance), and the
+// live accfg state never leaks out of a region that reconfigured the
+// accelerator (soundness of explicit state chaining).
+type scope struct {
+	b     *ir.Builder
+	depth int
+	ivIdx []*ir.Value // enclosing induction variables (index-typed), outermost first
+	iv64  []*ir.Value // their i64 casts
+	// cur is the most recent state value valid on *every* path reaching the
+	// insertion point; nil when unknown (e.g. after a region that
+	// reconfigured the accelerator). Only cur may be used for explicit
+	// in_state chaining.
+	cur *ir.Value
+	// inv holds loop-invariant-class i64 values (constants, the scalar
+	// argument, expressions over them); vary holds values derived from
+	// enclosing induction variables.
+	inv  []*ir.Value
+	vary []*ir.Value
+}
+
+// child clones the scope for a nested region.
+func (s *scope) child(b *ir.Builder) *scope {
+	c := &scope{
+		b:     b,
+		depth: s.depth + 1,
+		ivIdx: append([]*ir.Value{}, s.ivIdx...),
+		iv64:  append([]*ir.Value{}, s.iv64...),
+		cur:   s.cur,
+		inv:   append([]*ir.Value{}, s.inv...),
+		vary:  append([]*ir.Value{}, s.vary...),
+	}
+	return c
+}
+
+func (g *gen) allGroups() []Group { return g.prof.Groups }
+
+// pickGroups selects up to n distinct groups in deterministic rng order.
+func (g *gen) pickGroups(n int) []Group {
+	if n <= 0 {
+		return nil
+	}
+	perm := g.rng.Perm(len(g.prof.Groups))
+	if n > len(perm) {
+		n = len(perm)
+	}
+	out := make([]Group, 0, n)
+	for _, i := range perm[:n] {
+		out = append(out, g.prof.Groups[i])
+	}
+	return out
+}
+
+// chunk emits one random program fragment at the scope's insertion point.
+func (g *gen) chunk(s *scope) {
+	r := g.rng.Float64()
+	switch {
+	case s.depth < maxDepth && r < 0.24:
+		g.forChunk(s)
+	case s.depth < maxDepth && r < 0.38:
+		g.ifChunk(s)
+	case r < 0.55:
+		g.noise(s)
+	default:
+		g.launchBlock(s)
+	}
+}
+
+// launchBlock emits 0..2 delta setups, a launch, and (usually) an await.
+func (g *gen) launchBlock(s *scope) {
+	nset := g.rng.Intn(3)
+	if s.cur == nil && nset == 0 {
+		nset = 1
+	}
+	for i := 0; i < nset; i++ {
+		groups := g.pickGroups(1 + g.rng.Intn(3))
+		chain := g.rng.Float64() < 0.6
+		g.emitSetup(s, groups, chain)
+	}
+	if s.cur == nil {
+		// Defensive: a state value is required to launch.
+		g.emitSetup(s, nil, false)
+	}
+	g.emitLaunch(s, g.rng.Float64() < 0.9)
+}
+
+// emitSetup writes the given groups in one accfg.setup. Atomic groups keep
+// uniform loop-variance: the whole group either uses the chosen induction
+// variable or stays loop-invariant, so bit-packed configuration
+// instructions never mix hoistable and non-hoistable slots (which would let
+// the hoisting pass split one instruction into two).
+func (g *gen) emitSetup(s *scope, groups []Group, chain bool) {
+	var fields []accfg.Field
+	for _, grp := range groups {
+		var iv *ir.Value
+		if grp.CanVary && len(s.iv64) > 0 && g.rng.Intn(2) == 0 {
+			iv = s.iv64[g.rng.Intn(len(s.iv64))]
+		}
+		for _, f := range grp.Fields {
+			fields = append(fields, accfg.Field{Name: f.Name, Value: g.fieldValue(s, f, iv)})
+		}
+	}
+	var in *ir.Value
+	if chain && s.cur != nil {
+		in = s.cur
+	}
+	st := accfg.NewSetup(s.b, g.prof.Accel, in, fields)
+	s.cur = st.State()
+	g.stats.Setups++
+}
+
+// emitLaunch launches the current state and optionally awaits the token.
+func (g *gen) emitLaunch(s *scope, await bool) {
+	l := accfg.NewLaunch(s.b, s.cur)
+	g.stats.Launches++
+	if await {
+		accfg.NewAwait(s.b, l.Token())
+		g.stats.Awaits++
+	}
+}
+
+// fieldValue builds one field's SSA value. iv != nil selects the
+// loop-varying form for roles that support it.
+func (g *gen) fieldValue(s *scope, f Field, iv *ir.Value) *ir.Value {
+	switch f.Role {
+	case RoleAddress:
+		return g.addrValue(s, f, iv)
+	case RoleStride:
+		return g.constI64(s, int64(g.prof.Buffers[f.Buf].StrideBytes()))
+	case RoleSize:
+		return g.sizeValue(s, iv)
+	case RoleFlag:
+		return g.constI64(s, int64(g.rng.Intn(2)))
+	case RoleZero:
+		return g.constI64(s, 0)
+	default: // RoleFree
+		return g.freeValue(s, iv)
+	}
+}
+
+// addrValue returns the field's buffer base, optionally offset by one
+// TileRows-row block selected by the induction variable — the loop-varying
+// tiled-addressing idiom of the real workloads. The offset keeps the
+// device's maximal access (MaxTiles tiles plus one block) inside the
+// buffer.
+func (g *gen) addrValue(s *scope, f Field, iv *ir.Value) *ir.Value {
+	if f.Nullable && g.rng.Float64() < 0.35 {
+		return g.constI64(s, 0)
+	}
+	base := g.bases[f.Buf]
+	if iv == nil {
+		return base
+	}
+	block := g.prof.TileRows * g.prof.Buffers[f.Buf].StrideBytes()
+	shift := int64(bits.TrailingZeros(uint(block)))
+	bit := arith.NewBinary(s.b, arith.OpAndI, iv, g.constI64(s, 1))
+	off := arith.NewShl(s.b, bit, g.constI64(s, shift))
+	return arith.NewAdd(s.b, base, off)
+}
+
+// sizeValue returns a tile count in [1, MaxTiles]; the varying form is
+// 1 + (iv & (MaxTiles-1)).
+func (g *gen) sizeValue(s *scope, iv *ir.Value) *ir.Value {
+	if iv == nil {
+		return g.constI64(s, 1+int64(g.rng.Intn(g.prof.MaxTiles)))
+	}
+	masked := arith.NewBinary(s.b, arith.OpAndI, iv, g.constI64(s, int64(g.prof.MaxTiles-1)))
+	return arith.NewAdd(s.b, masked, g.constI64(s, 1))
+}
+
+// freeValue builds an arbitrary i64 expression. With iv set, the expression
+// is rooted at the induction variable (loop-varying); otherwise it only
+// draws from the invariant pool, so it stays hoistable.
+func (g *gen) freeValue(s *scope, iv *ir.Value) *ir.Value {
+	v := iv
+	if v == nil {
+		v = g.invLeaf(s)
+	}
+	for n := g.rng.Intn(3); n > 0; n-- {
+		v = arith.NewBinary(s.b, g.pickArithOp(), v, g.invLeaf(s))
+	}
+	return v
+}
+
+// invLeaf picks a loop-invariant-class leaf value.
+func (g *gen) invLeaf(s *scope) *ir.Value {
+	if len(s.inv) > 0 && g.rng.Float64() < 0.4 {
+		return s.inv[g.rng.Intn(len(s.inv))]
+	}
+	return g.constI64(s, g.rng.Int63n(1024))
+}
+
+// pickArithOp selects a closed i64 binary op (no shifts or divisions — those
+// need constrained right operands and are exercised by noise instead).
+func (g *gen) pickArithOp() string {
+	ops := []string{arith.OpAddI, arith.OpMulI, arith.OpXOrI, arith.OpOrI, arith.OpAndI, arith.OpSubI}
+	return ops[g.rng.Intn(len(ops))]
+}
+
+func (g *gen) constI64(s *scope, v int64) *ir.Value {
+	return arith.NewConstant(s.b, v, ir.I64)
+}
+
+// forChunk emits an scf.for with constant bounds and a generated body. The
+// live state never chains across the loop boundary: iteration 2 sees the
+// registers iteration 1 left behind, which only the state-tracing pass can
+// model soundly (via loop-carried state arguments).
+func (g *gen) forChunk(s *scope) {
+	g.stats.Loops++
+	lb := arith.NewConstant(s.b, 0, ir.Index)
+	trips := []int64{1, 2, 2, 3, 3}
+	ub := arith.NewConstant(s.b, trips[g.rng.Intn(len(trips))], ir.Index)
+	step := arith.NewConstant(s.b, 1, ir.Index)
+	loop := scf.NewFor(s.b, lb, ub, step)
+
+	bb := ir.AtEnd(loop.Body())
+	body := s.child(bb)
+	body.cur = nil
+	iv64 := arith.NewIndexCast(bb, loop.InductionVar(), ir.I64)
+	body.ivIdx = append(body.ivIdx, loop.InductionVar())
+	body.iv64 = append(body.iv64, iv64)
+
+	setupsBefore := g.stats.Setups
+	for n := 1 + g.rng.Intn(3); n > 0; n-- {
+		g.chunk(body)
+	}
+	scf.NewYield(bb)
+
+	if g.stats.Setups != setupsBefore {
+		// The loop reconfigured the accelerator: any state value from
+		// before the loop is stale after it.
+		s.cur = nil
+	}
+}
+
+// ifChunk emits an scf.if on a runtime-dependent condition with generated
+// branches. State set inside a branch is only valid on that path, so the
+// enclosing scope's state resets when either branch reconfigures.
+func (g *gen) ifChunk(s *scope) {
+	g.stats.Ifs++
+	lhs := g.condLeaf(s)
+	rhs := g.condLeaf(s)
+	preds := []string{arith.PredEQ, arith.PredNE, arith.PredSLT, arith.PredSLE, arith.PredSGT, arith.PredSGE, arith.PredULT, arith.PredULE}
+	cond := arith.NewCmp(s.b, preds[g.rng.Intn(len(preds))], lhs, rhs)
+	ifOp := scf.NewIf(s.b, cond)
+
+	setupsBefore := g.stats.Setups
+	tb := ir.AtEnd(ifOp.Then())
+	then := s.child(tb)
+	for n := 1 + g.rng.Intn(2); n > 0; n-- {
+		g.chunk(then)
+	}
+	scf.NewYield(tb)
+
+	eb := ir.AtEnd(ifOp.Else())
+	els := s.child(eb)
+	for n := g.rng.Intn(2); n > 0; n-- {
+		g.chunk(els)
+	}
+	scf.NewYield(eb)
+
+	if g.stats.Setups != setupsBefore {
+		s.cur = nil
+	}
+}
+
+// condLeaf picks an i64 value for comparison conditions: the scalar
+// argument, an induction variable, a pool value or a small constant.
+func (g *gen) condLeaf(s *scope) *ir.Value {
+	switch g.rng.Intn(4) {
+	case 0:
+		return g.p
+	case 1:
+		if len(s.iv64) > 0 {
+			return s.iv64[g.rng.Intn(len(s.iv64))]
+		}
+		return g.constI64(s, g.rng.Int63n(16))
+	case 2:
+		pool := append(append([]*ir.Value{}, s.inv...), s.vary...)
+		if len(pool) > 0 {
+			return pool[g.rng.Intn(len(pool))]
+		}
+		fallthrough
+	default:
+		return g.constI64(s, g.rng.Int63n(16))
+	}
+}
+
+// noise emits pure i64 arithmetic (feeding the value pools) and the
+// occasional host store to the scratch buffer — code the cleanup passes may
+// fold, CSE, hoist or move launches across, none of which may change what
+// the accelerator computes.
+func (g *gen) noise(s *scope) {
+	for n := 1 + g.rng.Intn(3); n > 0; n-- {
+		g.stats.NoiseOps++
+		v := g.noiseOp(s)
+		if g.anyVary(v, s) {
+			s.vary = append(s.vary, v)
+		} else {
+			s.inv = append(s.inv, v)
+		}
+	}
+	if g.rng.Float64() < 0.3 {
+		g.stats.Stores++
+		val := g.poolValue(s)
+		if g.rng.Float64() < 0.4 {
+			// Store into a device-visible buffer: this makes campaigns
+			// sensitive to any pass that reorders launches (whose jobs
+			// read and write these buffers) across host memory traffic.
+			bi := g.rng.Intn(len(g.prof.Buffers) - 1)
+			if bi >= g.prof.Scratch {
+				bi++ // skip the scratch slot wherever the profile put it
+			}
+			buf := g.prof.Buffers[bi]
+			memref.NewStore(s.b, val, g.bufArgs[bi], g.indexValue(s, buf.Rows), g.indexValue(s, buf.Cols))
+			return
+		}
+		idx := g.indexValue(s, g.prof.Buffers[g.prof.Scratch].Rows)
+		memref.NewStore(s.b, val, g.scratch, idx)
+	}
+}
+
+// indexValue picks an in-bounds index-typed value: a small constant or an
+// enclosing induction variable (always < 4 < any buffer dimension).
+func (g *gen) indexValue(s *scope, bound int) *ir.Value {
+	if len(s.ivIdx) > 0 && g.rng.Intn(2) == 0 {
+		return s.ivIdx[g.rng.Intn(len(s.ivIdx))]
+	}
+	return arith.NewConstant(s.b, g.rng.Int63n(int64(bound)), ir.Index)
+}
+
+// noiseOp emits one random pure op over the pools.
+func (g *gen) noiseOp(s *scope) *ir.Value {
+	a := g.poolValue(s)
+	switch g.rng.Intn(10) {
+	case 0: // shift by a small literal
+		return arith.NewShl(s.b, a, g.constI64(s, g.rng.Int63n(maxShiftAmount)))
+	case 1:
+		return arith.NewBinary(s.b, arith.OpShRUI, a, g.constI64(s, g.rng.Int63n(maxShiftAmount)))
+	case 2: // unsigned division by a nonzero literal
+		return arith.NewBinary(s.b, arith.OpDivUI, a, g.constI64(s, 1+g.rng.Int63n(7)))
+	case 3:
+		return arith.NewBinary(s.b, arith.OpRemUI, a, g.constI64(s, 1+g.rng.Int63n(7)))
+	case 4: // compare + select
+		b := g.poolValue(s)
+		preds := []string{arith.PredEQ, arith.PredNE, arith.PredULT, arith.PredSGE}
+		cond := arith.NewCmp(s.b, preds[g.rng.Intn(len(preds))], a, b)
+		return arith.NewSelect(s.b, cond, a, b)
+	default:
+		return arith.NewBinary(s.b, g.pickArithOp(), a, g.poolValue(s))
+	}
+}
+
+// poolValue picks any visible i64 value.
+func (g *gen) poolValue(s *scope) *ir.Value {
+	pool := append(append([]*ir.Value{}, s.inv...), s.vary...)
+	pool = append(pool, s.iv64...)
+	if len(pool) == 0 || g.rng.Float64() < 0.25 {
+		return g.constI64(s, g.rng.Int63n(4096))
+	}
+	return pool[g.rng.Intn(len(pool))]
+}
+
+// anyVary reports whether v is derived from an enclosing induction variable
+// (member of the varying pool or an iv cast itself).
+func (g *gen) anyVary(v *ir.Value, s *scope) bool {
+	for _, x := range s.vary {
+		if x == v {
+			return true
+		}
+	}
+	for _, x := range s.iv64 {
+		if x == v {
+			return true
+		}
+	}
+	// Walk one level of operands: noise ops combine pool values directly.
+	def := v.DefiningOp()
+	if def == nil {
+		return false
+	}
+	for _, o := range def.Operands() {
+		for _, x := range s.vary {
+			if x == o {
+				return true
+			}
+		}
+		for _, x := range s.iv64 {
+			if x == o {
+				return true
+			}
+		}
+	}
+	return false
+}

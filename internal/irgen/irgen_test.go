@@ -1,0 +1,110 @@
+package irgen_test
+
+import (
+	"testing"
+
+	"configwall/internal/ir"
+	"configwall/internal/irgen"
+)
+
+func profiles(t *testing.T) []irgen.Profile {
+	t.Helper()
+	return []irgen.Profile{irgen.GemminiProfile(), irgen.OpenGeMMProfile()}
+}
+
+// TestGenerateDeterministic: the same seed yields byte-identical modules and
+// identical inputs — the property every printed repro seed relies on.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, prof := range profiles(t) {
+		for seed := int64(0); seed < 10; seed++ {
+			a, err := irgen.Generate(prof, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", prof.Accel, seed, err)
+			}
+			b, err := irgen.Generate(prof, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", prof.Accel, seed, err)
+			}
+			if ir.PrintModule(a.Module) != ir.PrintModule(b.Module) {
+				t.Fatalf("%s seed %d: modules differ between runs", prof.Accel, seed)
+			}
+			if a.P != b.P {
+				t.Fatalf("%s seed %d: scalar inputs differ", prof.Accel, seed)
+			}
+			for i := range a.Buffers {
+				if string(a.Buffers[i].Data) != string(b.Buffers[i].Data) {
+					t.Fatalf("%s seed %d: buffer %s contents differ", prof.Accel, seed, a.Buffers[i].Name)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateVerifiesAndRoundTrips: every generated module passes ir.Verify
+// and survives a print/parse/verify round trip (the corpus file format).
+func TestGenerateVerifiesAndRoundTrips(t *testing.T) {
+	for _, prof := range profiles(t) {
+		for seed := int64(0); seed < 50; seed++ {
+			p, err := irgen.Generate(prof, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", prof.Accel, seed, err)
+			}
+			text := ir.PrintModule(p.Module)
+			m, err := ir.Parse(text)
+			if err != nil {
+				t.Fatalf("%s seed %d: reparse: %v\n%s", prof.Accel, seed, err, text)
+			}
+			if err := ir.Verify(m); err != nil {
+				t.Fatalf("%s seed %d: reparsed module does not verify: %v", prof.Accel, seed, err)
+			}
+		}
+	}
+}
+
+// TestGenerateCoversStructure: across a modest seed range the generator
+// produces loops, branches, chained setups and multiple launches — the
+// features the optimization passes exist to handle.
+func TestGenerateCoversStructure(t *testing.T) {
+	for _, prof := range profiles(t) {
+		var total irgen.Stats
+		for seed := int64(0); seed < 40; seed++ {
+			p, err := irgen.Generate(prof, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", prof.Accel, seed, err)
+			}
+			total.Loops += p.Stats.Loops
+			total.Ifs += p.Stats.Ifs
+			total.Setups += p.Stats.Setups
+			total.Launches += p.Stats.Launches
+			total.NoiseOps += p.Stats.NoiseOps
+			total.Stores += p.Stats.Stores
+			if p.Stats.Launches < 1 {
+				t.Errorf("%s seed %d: no launches generated", prof.Accel, seed)
+			}
+		}
+		if total.Loops == 0 || total.Ifs == 0 || total.Stores == 0 || total.NoiseOps == 0 {
+			t.Errorf("%s: structural coverage too thin: %+v", prof.Accel, total)
+		}
+		if total.Setups < 40 || total.Launches < 40 {
+			t.Errorf("%s: too few setups/launches across seeds: %+v", prof.Accel, total)
+		}
+	}
+}
+
+// TestDeriveSeedDecorrelates: neighbouring campaign indices and different
+// targets map to distinct program seeds.
+func TestDeriveSeedDecorrelates(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		for _, target := range []string{"gemmini", "opengemm"} {
+			s := irgen.DeriveSeed(1, target, i)
+			if seen[s] {
+				t.Fatalf("seed collision at index %d target %s", i, target)
+			}
+			seen[s] = true
+		}
+	}
+	if irgen.DeriveSeed(1, "gemmini", 0) != irgen.DeriveSeed(1, "gemmini", 0) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+}

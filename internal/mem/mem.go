@@ -26,6 +26,18 @@ func New(size int) *Memory {
 // Size returns the memory size in bytes.
 func (m *Memory) Size() int { return len(m.data) }
 
+// Snapshot copies the byte range [from, to) without touching the traffic
+// counters. The differential-test oracle uses it to compare the final memory
+// state of two simulations of the same program.
+func (m *Memory) Snapshot(from, to uint64) []byte {
+	if from > to || to > uint64(len(m.data)) {
+		panic(fmt.Sprintf("mem: snapshot [%#x, %#x) out of bounds (size %#x)", from, to, len(m.data)))
+	}
+	out := make([]byte, to-from)
+	copy(out, m.data[from:to])
+	return out
+}
+
 // ResetCounters zeroes the traffic counters.
 func (m *Memory) ResetCounters() {
 	m.BytesRead, m.BytesWritten = 0, 0

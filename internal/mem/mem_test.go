@@ -85,3 +85,36 @@ func TestSize(t *testing.T) {
 		t.Errorf("Size = %d, want 4096", got)
 	}
 }
+
+func TestSnapshot(t *testing.T) {
+	m := mem.New(64)
+	m.Write8(3, 0xab)
+	m.Write8(10, 0xcd)
+	m.ResetCounters()
+
+	snap := m.Snapshot(2, 12)
+	if len(snap) != 10 {
+		t.Fatalf("snapshot length = %d, want 10", len(snap))
+	}
+	if snap[1] != 0xab || snap[8] != 0xcd {
+		t.Errorf("snapshot contents wrong: % x", snap)
+	}
+	if m.BytesRead != 0 {
+		t.Errorf("Snapshot counted %d bytes read; it must not touch the traffic counters", m.BytesRead)
+	}
+	// The snapshot is a copy, not a view.
+	snap[1] = 0
+	if m.Read8(3) != 0xab {
+		t.Error("mutating the snapshot changed memory")
+	}
+}
+
+func TestSnapshotOutOfBoundsPanics(t *testing.T) {
+	m := mem.New(16)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-bounds snapshot")
+		}
+	}()
+	m.Snapshot(8, 32)
+}

@@ -98,6 +98,167 @@ func TestGoldenFigure9OverlapPipeline(t *testing.T) {
 	}
 }
 
+func TestGoldenHoistPipeline(t *testing.T) {
+	m := parseTestdata(t, "hoist.ir")
+	runPipeline(t, m,
+		passes.TraceStates(),
+		passes.HoistLoopInvariantFields(),
+	)
+	// The loop-invariant size/stride fields move to a pre-loop setup; the
+	// per-iteration address stays in the loop.
+	var preFields, inFields []string
+	m.Walk(func(op *ir.Op) {
+		s, ok := accfg.AsSetup(op)
+		if !ok {
+			return
+		}
+		if s.Op.ParentOp().Name() == "scf.for" {
+			inFields = s.FieldNames()
+		} else if s.NumFields() > 0 {
+			preFields = s.FieldNames()
+		}
+	})
+	if len(preFields) != 2 || preFields[0] != "size" || preFields[1] != "stride" {
+		t.Errorf("pre-loop fields = %v, want [size stride]\n%s", preFields, ir.PrintModule(m))
+	}
+	if len(inFields) != 1 || inFields[0] != "addr" {
+		t.Errorf("in-loop fields = %v, want [addr]\n%s", inFields, ir.PrintModule(m))
+	}
+}
+
+func TestGoldenOverlapPipeline(t *testing.T) {
+	m := parseTestdata(t, "overlap.ir")
+	runPipeline(t, m,
+		passes.TraceStates(),
+		passes.SinkSetupsIntoBranches(),
+		passes.HoistLoopInvariantFields(),
+		passes.Dedup(),
+		passes.MergeSetups(),
+		passes.RemoveEmptySetups(),
+		passes.Overlap(func(string) bool { return true }),
+	)
+	// Software pipelining (Figure 9, third block): the launch is the first
+	// op of the body and reads the loop-carried state; a prologue setup
+	// configures iteration 0 in front of the loop.
+	var loop *ir.Op
+	m.Walk(func(op *ir.Op) {
+		if op.Name() == "scf.for" {
+			loop = op
+		}
+	})
+	if loop == nil {
+		t.Fatal("loop disappeared")
+	}
+	first := loop.Region(0).Block().First()
+	l, ok := accfg.AsLaunch(first)
+	if !ok {
+		t.Fatalf("body does not start with the launch (starts with %s):\n%s", first.Name(), ir.PrintModule(m))
+	}
+	if !l.State().IsBlockArg() {
+		t.Errorf("pipelined launch must read the loop-carried state:\n%s", ir.PrintModule(m))
+	}
+	// Two field-carrying setups sit in front of the loop — the hoisted
+	// loop-invariant len and the pipelining prologue's addr for iteration 0
+	// — while the rotated in-loop setup rewrites only the varying addr.
+	var preFields [][]string
+	var inFields []string
+	m.Walk(func(op *ir.Op) {
+		s, ok := accfg.AsSetup(op)
+		if !ok || s.NumFields() == 0 {
+			return
+		}
+		if s.Op.ParentOp().Name() == "scf.for" {
+			inFields = s.FieldNames()
+		} else {
+			preFields = append(preFields, s.FieldNames())
+		}
+	})
+	if len(preFields) != 2 {
+		t.Fatalf("pre-loop field-carrying setups = %v, want [[len] [addr]]\n%s", preFields, ir.PrintModule(m))
+	}
+	if len(preFields[0]) != 1 || preFields[0][0] != "len" || len(preFields[1]) != 1 || preFields[1][0] != "addr" {
+		t.Errorf("pre-loop setups = %v, want hoisted [len] then prologue [addr]", preFields)
+	}
+	if len(inFields) != 1 || inFields[0] != "addr" {
+		t.Errorf("in-loop fields = %v, want [addr]", inFields)
+	}
+}
+
+func TestGoldenOverlapBailsOnNestedLaunch(t *testing.T) {
+	m := parseTestdata(t, "overlap_nested.ir")
+	runPipeline(t, m,
+		passes.TraceStates(),
+		passes.Overlap(func(string) bool { return true }),
+	)
+	// The conditional launch nested in the body would commit the rotated
+	// setup's next-iteration (phantom) configuration if the loop were
+	// pipelined, so the pass must leave the loop alone: the body still
+	// starts with the setup's input slice, not with a launch.
+	var loop *ir.Op
+	m.Walk(func(op *ir.Op) {
+		if op.Name() == "scf.for" {
+			loop = op
+		}
+	})
+	if loop == nil {
+		t.Fatal("loop disappeared")
+	}
+	if first := loop.Region(0).Block().First(); first.Name() == accfg.OpLaunch {
+		t.Fatalf("loop with a nested same-accelerator launch was pipelined:\n%s", ir.PrintModule(m))
+	}
+	if loop.NumOperands() != 4 {
+		// TraceStates added exactly the loop-carried state; the pipelining
+		// prologue would have rewired it to a cloned setup.
+		t.Fatalf("unexpected loop operands: %d", loop.NumOperands())
+	}
+	init := loop.Operand(3).DefiningOp()
+	if s, ok := accfg.AsSetup(init); !ok || s.NumFields() != 0 {
+		t.Fatalf("loop init state must still be the empty trace anchor, got %s:\n%s", init.Name(), ir.PrintModule(m))
+	}
+}
+
+func TestGoldenSinkIntoBranchesInLoop(t *testing.T) {
+	m := parseTestdata(t, "sink.ir")
+	runPipeline(t, m,
+		passes.SinkSetupsIntoBranches(),
+		passes.Dedup(),
+		passes.RemoveEmptySetups(),
+	)
+	// The trailing loop-body setup sinks into both branches of the nested
+	// scf.if, restoring a linear chain per path; per-branch deduplication
+	// then drops the x=1 rewrite only in the then-branch (which already
+	// wrote x=1), while the else-branch (x=2) must keep it.
+	counts := map[string]int{}
+	var thenLast, elseLast []string
+	m.Walk(func(op *ir.Op) {
+		s, ok := accfg.AsSetup(op)
+		if !ok {
+			return
+		}
+		parent := s.Op.ParentOp()
+		counts[parent.Name()]++
+		if parent.Name() == "scf.if" {
+			if parent.Region(0).Block() == s.Op.Block() {
+				thenLast = s.FieldNames()
+			} else {
+				elseLast = s.FieldNames()
+			}
+		}
+	})
+	if counts["scf.for"] != 0 {
+		t.Errorf("loop-body setups = %d, want 0 (sunk into branches)\n%s", counts["scf.for"], ir.PrintModule(m))
+	}
+	if counts["scf.if"] != 4 {
+		t.Errorf("branch setups = %d, want 4\n%s", counts["scf.if"], ir.PrintModule(m))
+	}
+	if len(thenLast) != 1 || thenLast[0] != "y" {
+		t.Errorf("then-branch sunk fields = %v, want [y] (x=1 was redundant there)\n%s", thenLast, ir.PrintModule(m))
+	}
+	if len(elseLast) != 2 || elseLast[0] != "x" || elseLast[1] != "y" {
+		t.Errorf("else-branch sunk fields = %v, want [x y] (x=1 overwrites x=2)\n%s", elseLast, ir.PrintModule(m))
+	}
+}
+
 func TestGoldenBranchSinking(t *testing.T) {
 	m := parseTestdata(t, "branches.ir")
 	runPipeline(t, m,

@@ -82,6 +82,31 @@ func pipelineLoop(loop *ir.Op, concurrent func(string) bool) bool {
 	if setupOp == nil || launchOp == nil || awaitOp == nil {
 		return false
 	}
+	// The depth-1 scan above cannot see accfg ops nested in scf.if/scf.for
+	// inside the body; a nested launch would commit the rotated setup's
+	// *next*-iteration configuration after the rewrite (same phantom-state
+	// class as launchReachableAfter below — found by differential fuzzing
+	// review). Bail on any nested accfg op. Likewise, moving the launch to
+	// the top of the body reorders the device's memory effects (the job
+	// reads and writes main memory at launch time) with every host
+	// memref.load/store that used to precede it — there is no alias
+	// analysis, so any host memory op in the body blocks pipelining.
+	unsafe := false
+	for _, op := range body.Ops() {
+		if op == setupOp || op == launchOp || op == awaitOp {
+			continue
+		}
+		ir.Walk(op, func(o *ir.Op) {
+			switch o.Name() {
+			case accfg.OpSetup, accfg.OpLaunch, accfg.OpAwait,
+				"memref.load", "memref.store":
+				unsafe = true
+			}
+		})
+	}
+	if unsafe {
+		return false
+	}
 	s, _ := accfg.AsSetup(setupOp)
 	if !concurrent(s.Accelerator()) {
 		return false
@@ -130,6 +155,17 @@ func pipelineLoop(loop *ir.Op, concurrent func(string) bool) bool {
 	if !ok {
 		return false
 	}
+	// Pipelining leaves the *next* iteration's (phantom) configuration in
+	// the staging registers when the loop exits: the rotated in-loop setup
+	// computes iteration i+1's fields, and the final iteration's writes are
+	// never launched. Any same-accelerator launch that can execute after
+	// the loop — later in the function, or on the next iteration of an
+	// enclosing loop — would observe that phantom state instead of the last
+	// real configuration, so the rewrite must bail (found by differential
+	// fuzzing; the paper's workloads always pipeline the last launch site).
+	if launchReachableAfter(loop, s.Accelerator()) {
+		return false
+	}
 
 	iv := body.Arg(0)
 	lb := loop.Operand(0)
@@ -173,6 +209,54 @@ func pipelineLoop(loop *ir.Op, concurrent func(string) bool) bool {
 	}
 	// The original slice ops may now be dead; greedy DCE cleans them later.
 	return true
+}
+
+// launchReachableAfter reports whether a launch of the given accelerator
+// outside loop can execute after the loop body ran: it appears later in the
+// enclosing function's pre-order, or it shares an enclosing scf.for with the
+// loop (in which case the next enclosing iteration wraps around to it).
+func launchReachableAfter(loop *ir.Op, accel string) bool {
+	// Find the enclosing function (or topmost ancestor).
+	root := loop
+	for p := root.ParentOp(); p != nil; p = p.ParentOp() {
+		root = p
+		if p.Name() == "fnc.func" {
+			break
+		}
+	}
+	// Pre-order positions over the function: an op in an enclosing block
+	// after the loop, or a later sibling subtree, gets a larger position.
+	pos := map[*ir.Op]int{}
+	n := 0
+	ir.Walk(root, func(o *ir.Op) {
+		pos[o] = n
+		n++
+	})
+	// Enclosing scf.for ancestors of the loop.
+	var enclosingLoops []*ir.Op
+	for p := loop.ParentOp(); p != nil; p = p.ParentOp() {
+		if p.Name() == scf_OpFor {
+			enclosingLoops = append(enclosingLoops, p)
+		}
+	}
+	unsafe := false
+	ir.Walk(root, func(o *ir.Op) {
+		l, ok := accfg.AsLaunch(o)
+		if !ok || l.Accelerator() != accel || loop.IsAncestorOf(o) {
+			return
+		}
+		if pos[o] > pos[loop] {
+			unsafe = true
+			return
+		}
+		for _, enc := range enclosingLoops {
+			if enc.IsAncestorOf(o) {
+				unsafe = true
+				return
+			}
+		}
+	})
+	return unsafe
 }
 
 // pureInputSlice returns the ops inside body that (transitively) compute the
@@ -258,13 +342,22 @@ func overlapBlock(blk *ir.Block, concurrent func(string) bool) bool {
 		if !ok {
 			continue
 		}
-		// All skipped-over ops must preserve accelerator state.
+		// All skipped-over ops must preserve accelerator state, and none of
+		// them may interact with this accelerator's staging registers:
+		// hopping over another setup would reorder configuration writes, and
+		// hopping over a launch would make that launch commit the moved
+		// setup's values instead of the configuration it launched with in
+		// program order (found by differential fuzzing).
 		safe := true
 		for o := awaitOp; o != nil && o != op; o = o.Next() {
 			if movableContains(movable, o) || o == awaitOp {
 				continue
 			}
 			if accfg.EffectsOf(o) == ir.EffectsAll {
+				safe = false
+				break
+			}
+			if touchesStaging(o, s.Accelerator()) {
 				safe = false
 				break
 			}
@@ -279,6 +372,19 @@ func overlapBlock(blk *ir.Block, concurrent func(string) bool) bool {
 		changed = true
 	}
 	return changed
+}
+
+// touchesStaging reports whether op writes or commits the named
+// accelerator's staging registers (a setup writes them, a launch commits
+// them); such ops pin any same-accelerator setup behind them.
+func touchesStaging(op *ir.Op, accelerator string) bool {
+	if s, ok := accfg.AsSetup(op); ok {
+		return s.Accelerator() == accelerator
+	}
+	if l, ok := accfg.AsLaunch(op); ok {
+		return l.Accelerator() == accelerator
+	}
+	return false
 }
 
 func movableContains(ops []*ir.Op, op *ir.Op) bool {
