@@ -9,6 +9,7 @@
 //	cwbench -cache-dir .cwcache  # persist results; reruns recompute nothing
 //	cwbench -cache-dir .cwcache -shard 0/4   # precompute 1/4 of the grid
 //	cwbench -cache-stats       # report cache hit/miss/run counters
+//	cwbench -cpuprofile cw.pprof -only fig11  # pprof profile of a real sweep
 //
 // All experiment cells run on one shared concurrent runner, so artifacts
 // that revisit a cell (Figure 11 and Figure 12 share their base/all cells)
@@ -25,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -150,7 +152,27 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "directory of the persistent experiment-result store (empty = in-memory only)")
 	shardSpec := flag.String("shard", "", "precompute shard i/m of the figure grid into -cache-dir and render nothing (e.g. 0/4)")
 	cacheStats := flag.Bool("cache-stats", false, "print runner cache statistics after the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal("-cpuprofile: %v", err)
+		}
+		// fatal() exits without running deferred stops; profile-truncation
+		// on a fatal error is acceptable for a diagnostics flag.
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cwbench: closing %s: %v\n", *cpuprofile, err)
+			}
+		}()
+	}
 
 	ropts := core.RunnerOptions{Workers: *workers}
 	if *cacheDir != "" {

@@ -2,7 +2,11 @@
 // seeded random accfg programs (internal/irgen), runs each through the
 // Baseline pipeline and every optimization pipeline on the co-simulator,
 // and checks observational equivalence plus the paper's metamorphic claims
-// (internal/difftest). Programs execute concurrently on the shared
+// (internal/difftest). Every compiled program additionally executes on
+// both simulator engines (reference interpreter and predecoded fast
+// engine, DESIGN.md §6) and any disagreement in counters, final memory or
+// summarized trace is a divergence — engine equivalence is a standing
+// campaign invariant. Programs execute concurrently on the shared
 // experiment worker pool, but reports are input-ordered and byte-identical
 // across runs with the same flags.
 //
@@ -59,7 +63,7 @@ func main() {
 	for _, p := range difftest.OptimizationPipelines() {
 		pipes = append(pipes, p.String())
 	}
-	fmt.Printf("cwfuzz: campaign seed=%d n=%d targets=%s pipelines=%s\n",
+	fmt.Printf("cwfuzz: campaign seed=%d n=%d targets=%s pipelines=%s engine-xcheck=ref/fast\n",
 		*seed, *n, strings.Join(targets, ","), strings.Join(pipes, ","))
 
 	failed := false

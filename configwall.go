@@ -42,6 +42,7 @@ import (
 	"configwall/internal/difftest"
 	"configwall/internal/irgen"
 	"configwall/internal/roofline"
+	"configwall/internal/sim"
 	"configwall/internal/store"
 )
 
@@ -72,6 +73,23 @@ type Result = core.Result
 
 // RunOptions tweaks experiment execution.
 type RunOptions = core.RunOptions
+
+// Engine selects the simulator execution engine for a run.
+type Engine = sim.Engine
+
+// Simulator engines. Both produce byte-identical results — the
+// differential oracle continuously enforces it — but the fast engine
+// executes a predecoded program form with block-batched accounting and is
+// several times faster (DESIGN.md §6).
+const (
+	// EngineRef is the reference interpreter.
+	EngineRef = sim.EngineRef
+	// EngineFast is the predecoded fast engine.
+	EngineFast = sim.EngineFast
+)
+
+// EngineByName parses an engine name ("ref" or "fast").
+func EngineByName(name string) (Engine, error) { return sim.EngineByName(name) }
 
 // GemminiTarget returns the Gemmini-style platform: a 16x16 systolic array
 // (512 ops/cycle) with sequential configuration via RoCC custom

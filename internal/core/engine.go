@@ -240,6 +240,12 @@ type RunOptions struct {
 	RecordTrace bool
 	// SkipVerify skips the golden-model comparison (for benchmarks).
 	SkipVerify bool
+	// Engine selects the simulator execution engine (default: the
+	// reference interpreter). Both engines produce byte-identical
+	// results — the differential oracle enforces it — but they are
+	// cached and fingerprinted separately so cross-engine comparisons
+	// never serve one engine's run to the other.
+	Engine sim.Engine
 }
 
 const (
@@ -303,6 +309,7 @@ func Run(t Target, w Workload, p Pipeline, n int, opts RunOptions) (Result, erro
 	memory.ResetCounters()
 
 	mc := sim.NewMachine(memory, t.Cost, t.NewDevice())
+	mc.Engine = opts.Engine
 	mc.RecordTrace = opts.RecordTrace
 	for i := range inst.Buffers {
 		mc.Regs[riscv.A0+riscv.Reg(i)] = int64(bases[i])

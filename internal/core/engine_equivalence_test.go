@@ -1,0 +1,79 @@
+package core_test
+
+// Engine-equivalence tests at the experiment layer: the paper's artifacts
+// must be byte-identical no matter which simulator engine produced the
+// underlying runs. (The instruction-level equivalence proof lives in
+// internal/sim and internal/difftest; this pins the end-to-end claim the
+// figures depend on.)
+
+import (
+	"reflect"
+	"testing"
+
+	"configwall/internal/core"
+	"configwall/internal/sim"
+)
+
+func TestResultsIdenticalAcrossEngines(t *testing.T) {
+	for _, target := range []core.Target{core.GemminiTarget(), core.OpenGeMMTarget()} {
+		for _, p := range []core.Pipeline{core.Baseline, core.AllOptimizations} {
+			ref, err := core.RunTiledMatmul(target, p, 32,
+				core.RunOptions{RecordTrace: true, Engine: sim.EngineRef})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := core.RunTiledMatmul(target, p, 32,
+				core.RunOptions{RecordTrace: true, Engine: sim.EngineFast})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Counters != fast.Counters {
+				t.Errorf("%s/%s: counters differ:\nref:  %+v\nfast: %+v",
+					target.Name, p, ref.Counters, fast.Counters)
+			}
+			if !reflect.DeepEqual(ref.Trace, fast.Trace) {
+				t.Errorf("%s/%s: traces differ (%d vs %d segments)",
+					target.Name, p, len(ref.Trace), len(fast.Trace))
+			}
+			if !ref.Verified || !fast.Verified {
+				t.Errorf("%s/%s: verification: ref=%v fast=%v", target.Name, p, ref.Verified, fast.Verified)
+			}
+		}
+	}
+}
+
+func TestFigureOutputsIdenticalAcrossEngines(t *testing.T) {
+	sizes := []int{16, 32}
+	render := func(engine sim.Engine) (string, float64) {
+		rows, err := core.Figure11(sizes, core.RunOptions{SkipVerify: true, Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.RenderFigure11(rows), core.Fig11Geomean(rows)
+	}
+	refOut, refG := render(sim.EngineRef)
+	fastOut, fastG := render(sim.EngineFast)
+	if refOut != fastOut {
+		t.Errorf("Figure 11 rendering differs between engines:\nref:\n%s\nfast:\n%s", refOut, fastOut)
+	}
+	if refG != fastG {
+		t.Errorf("Figure 11 geomean differs: ref %v, fast %v", refG, fastG)
+	}
+}
+
+// TestRunnerKeepsEnginesSeparate: a cached ref-engine result must not be
+// served to a fast-engine request (it would make cross-engine comparisons
+// vacuous), even though the payloads are identical.
+func TestRunnerKeepsEnginesSeparate(t *testing.T) {
+	r := core.NewRunner(1)
+	e := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 16}
+	if _, err := r.Run(e, core.RunOptions{SkipVerify: true, Engine: sim.EngineRef}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(e, core.RunOptions{SkipVerify: true, Engine: sim.EngineFast}); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Snapshot(); s.Runs != 2 {
+		t.Errorf("Runs = %d, want 2 (one per engine; engines must not share cache cells)", s.Runs)
+	}
+}

@@ -17,7 +17,14 @@
 //     hardware, whose loop prologue adds one bounded static setup), and
 //   - optimized pipelines never run slower than the baseline (again modulo
 //     a bounded allowance for overlap's prologue and dead final-iteration
-//     staging writes on tiny jobs).
+//     staging writes on tiny jobs),
+//
+// plus the simulator's own two-engine invariant (DESIGN.md §6) —
+//
+//   - every compiled program (baseline and each optimized pipeline)
+//     executes identically on the reference interpreter and the
+//     predecoded fast engine: same Counters, same final memory image,
+//     same summarized trace, same launch effects.
 //
 // A failing case is a Divergence; the shrinker (shrink.go) reduces the
 // module while the divergence reproduces.
@@ -38,6 +45,7 @@ import (
 	"configwall/internal/mem"
 	"configwall/internal/riscv"
 	"configwall/internal/sim"
+	"configwall/internal/trace"
 )
 
 // Simulation arena: generated programs are tiny, so the oracle uses a 1 MiB
@@ -75,6 +83,10 @@ const (
 	KindConfigWrites
 	// KindCycles: the optimized pipeline ran slower than allowed.
 	KindCycles
+	// KindEngine: the fast simulator engine disagreed with the reference
+	// engine on the same compiled program (counters, final memory or
+	// summarized trace) — a simulator bug, not a compiler bug.
+	KindEngine
 )
 
 func (k Kind) String() string {
@@ -97,6 +109,8 @@ func (k Kind) String() string {
 		return "config-write-regression"
 	case KindCycles:
 		return "cycle-regression"
+	case KindEngine:
+		return "engine-divergence"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -119,6 +133,8 @@ type Execution struct {
 	Launches []accel.Launch
 	// Mem is the final [0, stackBase) memory image.
 	Mem []byte
+	// TraceSummary aggregates the recorded timeline per segment kind.
+	TraceSummary trace.Summary
 	// ProgramInstrs is the compiled program size.
 	ProgramInstrs int
 }
@@ -139,6 +155,12 @@ type Options struct {
 	// overlap pipelines on concurrent-configuration targets; nil selects
 	// DefaultCycleSlack. Non-overlap pipelines always get zero slack.
 	CycleSlack func(baseCycles uint64) uint64
+	// SkipEngineCrossCheck disables the standing simulator-engine
+	// equivalence invariant: by default every compiled program (baseline
+	// and each optimized pipeline) runs on both the reference and the
+	// fast engine, and any disagreement in Counters, final memory or the
+	// summarized trace is reported as a KindEngine divergence.
+	SkipEngineCrossCheck bool
 }
 
 // DefaultCycleSlack bounds the overhead software pipelining may add on
@@ -266,19 +288,29 @@ func CheckModule(t core.Target, m *ir.Module, prog irgen.Program, opts Options) 
 		slack = DefaultCycleSlack
 	}
 
-	base, kind, err := Execute(t, m, prog, pipelineFor(t, core.Baseline), nil)
+	crossCheck := !opts.SkipEngineCrossCheck
+	base, kind, err := Execute(t, m, prog, pipelineFor(t, core.Baseline), nil, crossCheck)
 	if err != nil {
-		rep.Invalid = true
-		rep.InvalidReason = fmt.Sprintf("baseline %s: %v", kind, err)
-		return rep
+		if kind != KindEngine {
+			rep.Invalid = true
+			rep.InvalidReason = fmt.Sprintf("baseline %s: %v", kind, err)
+			return rep
+		}
+		// The reference run succeeded and stays authoritative; the fast
+		// engine disagreeing with it is a divergence in its own right.
+		rep.Divergences = append(rep.Divergences, Divergence{Kind: kind, Pipeline: core.Baseline, Detail: err.Error()})
 	}
 	rep.Base = base
 
 	for _, p := range pipelines {
-		exec, kind, err := Execute(t, m, prog, pipelineFor(t, p), opts.Mutate)
+		exec, kind, err := Execute(t, m, prog, pipelineFor(t, p), opts.Mutate, crossCheck)
 		if err != nil {
 			rep.Divergences = append(rep.Divergences, Divergence{Kind: kind, Pipeline: p, Detail: err.Error()})
-			continue
+			if kind != KindEngine {
+				continue
+			}
+			// Engine divergences leave the reference execution intact:
+			// still compare it against the baseline below.
 		}
 		rep.Divergences = append(rep.Divergences, compare(t, p, base, exec, slack)...)
 	}
@@ -287,8 +319,12 @@ func CheckModule(t core.Target, m *ir.Module, prog irgen.Program, opts Options) 
 
 // Execute clones m, runs the pass pipeline, compiles and simulates it with
 // the program's inputs, returning the observation. On failure the Kind
-// reports which stage failed.
-func Execute(t core.Target, m *ir.Module, prog irgen.Program, pm *ir.PassManager, mutate func(*ir.Module) error) (Execution, Kind, error) {
+// reports which stage failed. With crossCheck set, the compiled program
+// additionally runs on the fast simulator engine, and any disagreement
+// with the reference observation (Counters, final memory, summarized
+// trace, launch effects) returns a KindEngine error alongside the still
+// valid reference Execution.
+func Execute(t core.Target, m *ir.Module, prog irgen.Program, pm *ir.PassManager, mutate func(*ir.Module) error, crossCheck bool) (Execution, Kind, error) {
 	clone := m.Clone()
 	if mutate != nil {
 		if err := mutate(clone); err != nil {
@@ -314,6 +350,27 @@ func Execute(t core.Target, m *ir.Module, prog irgen.Program, pm *ir.PassManager
 		return Execution{}, KindCompileError, err
 	}
 
+	// Trace recording is only needed for the summarized-trace comparison
+	// between engines; the plain oracle path skips its cost.
+	ref, err := simulate(t, prog, compiled, bases, sim.EngineRef, crossCheck)
+	if err != nil {
+		return Execution{}, KindSimError, err
+	}
+	if crossCheck {
+		fast, err := simulate(t, prog, compiled, bases, sim.EngineFast, true)
+		if err != nil {
+			return ref, KindEngine, fmt.Errorf("fast engine failed where the reference engine succeeded: %w", err)
+		}
+		if err := equalExecutions(ref, fast); err != nil {
+			return ref, KindEngine, err
+		}
+	}
+	return ref, KindNone, nil
+}
+
+// simulate runs one compiled program on a fresh memory/device sandbox
+// under the selected engine and captures the oracle observation.
+func simulate(t core.Target, prog irgen.Program, compiled *riscv.Program, bases []uint64, engine sim.Engine, recordTrace bool) (Execution, error) {
 	memory := mem.New(memorySize)
 	for i, buf := range prog.Buffers {
 		for j, b := range buf.Data {
@@ -324,6 +381,8 @@ func Execute(t core.Target, m *ir.Module, prog irgen.Program, pm *ir.PassManager
 
 	rec := &recorder{Device: t.NewDevice()}
 	mc := sim.NewMachine(memory, t.Cost, rec)
+	mc.Engine = engine
+	mc.RecordTrace = recordTrace
 	mc.MaxInstrs = maxInstrs
 	for i := range prog.Buffers {
 		mc.Regs[riscv.A0+riscv.Reg(i)] = int64(bases[i])
@@ -331,15 +390,39 @@ func Execute(t core.Target, m *ir.Module, prog irgen.Program, pm *ir.PassManager
 	mc.Regs[riscv.A0+riscv.Reg(len(prog.Buffers))] = prog.P
 	mc.Regs[riscv.SP] = stackBase
 	if err := mc.Run(compiled); err != nil {
-		return Execution{}, KindSimError, err
+		return Execution{}, err
 	}
 
 	return Execution{
 		Counters:      mc.Counters,
 		Launches:      rec.launches,
 		Mem:           memory.Snapshot(0, stackBase),
+		TraceSummary:  trace.Summarize(mc.Trace),
 		ProgramInstrs: len(compiled.Instrs),
-	}, KindNone, nil
+	}, nil
+}
+
+// equalExecutions asserts the engine-equivalence invariant: the fast
+// engine must reproduce the reference observation exactly.
+func equalExecutions(ref, fast Execution) error {
+	if ref.Counters != fast.Counters {
+		return fmt.Errorf("engines disagree on counters: ref %+v, fast %+v", ref.Counters, fast.Counters)
+	}
+	if len(ref.Launches) != len(fast.Launches) {
+		return fmt.Errorf("engines disagree on launch count: ref %d, fast %d", len(ref.Launches), len(fast.Launches))
+	}
+	for i := range ref.Launches {
+		if ref.Launches[i] != fast.Launches[i] {
+			return fmt.Errorf("engines disagree on launch %d: ref %+v, fast %+v", i, ref.Launches[i], fast.Launches[i])
+		}
+	}
+	if addr, ok := firstMemDiff(ref.Mem, fast.Mem); ok {
+		return fmt.Errorf("engines disagree on memory at %#x: ref %#02x, fast %#02x", addr, ref.Mem[addr], fast.Mem[addr])
+	}
+	if ref.TraceSummary != fast.TraceSummary {
+		return fmt.Errorf("engines disagree on trace summary: ref %+v, fast %+v", ref.TraceSummary, fast.TraceSummary)
+	}
+	return nil
 }
 
 // compare asserts the oracle invariants of one optimized execution against

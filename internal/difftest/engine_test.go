@@ -1,0 +1,116 @@
+package difftest
+
+// Internal tests for the simulator-engine cross-check: equalExecutions is
+// the comparison at the heart of the standing fuzz invariant, so its
+// discrimination is pinned directly.
+
+import (
+	"strings"
+	"testing"
+
+	"configwall/internal/accel"
+	"configwall/internal/core"
+	"configwall/internal/irgen"
+	"configwall/internal/sim"
+	"configwall/internal/trace"
+)
+
+func cleanExecution() Execution {
+	return Execution{
+		Counters: sim.Counters{Cycles: 100, HostInstrs: 40, HostCycles: 80},
+		Launches: []accel.Launch{{Ops: 512, Cycles: 30}},
+		Mem:      []byte{1, 2, 3},
+		TraceSummary: trace.Summary{
+			HostExec: 70, HostConfig: 10, AccelBusy: 30,
+		},
+	}
+}
+
+func TestEqualExecutionsDiscrimination(t *testing.T) {
+	if err := equalExecutions(cleanExecution(), cleanExecution()); err != nil {
+		t.Fatalf("identical executions reported unequal: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Execution)
+		want   string
+	}{
+		{"counters", func(e *Execution) { e.Cycles++ }, "counters"},
+		{"launch count", func(e *Execution) { e.Launches = nil }, "launch count"},
+		{"launch effect", func(e *Execution) { e.Launches[0].Ops++ }, "launch 0"},
+		{"memory", func(e *Execution) { e.Mem[1] ^= 0xff }, "memory at 0x1"},
+		{"trace summary", func(e *Execution) { e.TraceSummary.HostExec-- }, "trace summary"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fast := cleanExecution()
+			tc.mutate(&fast)
+			err := equalExecutions(cleanExecution(), fast)
+			if err == nil {
+				t.Fatal("divergent executions reported equal")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the divergent observable %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEngineCrossCheckIsStanding: the default Options run every pipeline's
+// compiled program on both engines — provable from the outside because
+// trace recording (and therefore a non-empty base TraceSummary) happens
+// exactly when the cross-check path is taken, and because a seeded
+// campaign slice across both targets stays divergence-free.
+func TestEngineCrossCheckIsStanding(t *testing.T) {
+	for _, targetName := range core.TargetNames() {
+		prof, err := irgen.ProfileFor(targetName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tgt, err := core.LookupTarget(targetName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			seed := irgen.DeriveSeed(11, targetName, i)
+			prog, err := irgen.Generate(prof, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := Check(tgt, prog, Options{})
+			if rep.Invalid {
+				t.Fatalf("%s seed %d: invalid baseline: %s", targetName, seed, rep.InvalidReason)
+			}
+			if rep.Diverged() {
+				t.Fatalf("%s seed %d: divergences with engine cross-check on: %v", targetName, seed, rep.Divergences)
+			}
+			if rep.Base.TraceSummary == (trace.Summary{}) {
+				t.Fatalf("%s seed %d: base trace summary empty — cross-check path did not record", targetName, seed)
+			}
+		}
+	}
+}
+
+// TestSkipEngineCrossCheck: the opt-out must still produce a full report.
+func TestSkipEngineCrossCheck(t *testing.T) {
+	prof, err := irgen.ProfileFor("opengemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := core.LookupTarget("opengemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Generate(prof, irgen.DeriveSeed(11, "opengemm", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(tgt, prog, Options{SkipEngineCrossCheck: true})
+	if rep.Invalid || rep.Diverged() {
+		t.Fatalf("clean program failed with cross-check disabled: %+v", rep)
+	}
+	// The opt-out must actually take the cheap path: no trace recording.
+	if rep.Base.TraceSummary != (trace.Summary{}) {
+		t.Errorf("TraceSummary populated with cross-check disabled: %+v", rep.Base.TraceSummary)
+	}
+}

@@ -43,10 +43,47 @@ func (m *Memory) ResetCounters() {
 	m.BytesRead, m.BytesWritten = 0, 0
 }
 
-func (m *Memory) check(addr uint64, n int) {
-	if addr+uint64(n) > uint64(len(m.data)) {
-		panic(fmt.Sprintf("mem: access [%#x, %#x) out of bounds (size %#x)", addr, addr+uint64(n), len(m.data)))
+// check panics unless [addr, addr+n) lies inside memory. The comparison is
+// overflow-safe: for addresses near 2^64, addr+n wraps around zero, so the
+// naive `addr+n > size` test would wave wild accesses through — instead the
+// remaining room size-addr is compared against n, which cannot wrap because
+// addr <= size is established first.
+func (m *Memory) check(addr, n uint64) {
+	if size := uint64(len(m.data)); addr > size || n > size-addr {
+		m.boundsPanic(addr, n)
 	}
+}
+
+// boundsPanic is kept out of check so check (and the accessors calling it)
+// stays within the compiler's inlining budget — the simulator engines sit
+// in these accessors for every host load and store.
+//
+//go:noinline
+func (m *Memory) boundsPanic(addr, n uint64) {
+	panic(fmt.Sprintf("mem: access [%#x, %#x) out of bounds (size %#x)", addr, addr+n, len(m.data)))
+}
+
+// Region returns a direct view of [addr, addr+n) after a single
+// overflow-safe bounds check. It is the fast-path accessor for the
+// simulator engines and the accelerator models: one check and one slice
+// header replace n checked per-byte accesses.
+//
+// Region does NOT touch the traffic counters — callers that hoist row
+// accesses must account their modeled traffic in bulk with AddTraffic so
+// the per-access counter semantics of the checked accessors are preserved
+// exactly.
+func (m *Memory) Region(addr, n uint64) []byte {
+	m.check(addr, n)
+	return m.data[addr : addr+n : addr+n]
+}
+
+// AddTraffic adds modeled traffic to the counters in bulk. Fast paths that
+// bypass the checked per-access methods (Region views) use it to keep
+// BytesRead/BytesWritten byte-identical to the equivalent sequence of
+// checked accesses.
+func (m *Memory) AddTraffic(read, written uint64) {
+	m.BytesRead += read
+	m.BytesWritten += written
 }
 
 // Read8 loads one byte.

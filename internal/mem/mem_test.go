@@ -1,6 +1,7 @@
 package mem_test
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -78,6 +79,82 @@ func TestOutOfBoundsPanics(t *testing.T) {
 		}
 	}()
 	m.Read64(12) // crosses the end
+}
+
+// TestAddressOverflowPanics is the regression test for the bounds-check
+// wraparound bug: for addresses near 2^64, addr+n overflows to a small
+// value, so the naive `addr+n > size` comparison let wild accesses through
+// to the raw slice (a confusing runtime panic at best, and a check that
+// reads as sound while it is not). The overflow-safe check must reject
+// these with the package's own out-of-bounds panic.
+func TestAddressOverflowPanics(t *testing.T) {
+	cases := []struct {
+		name   string
+		access func(m *mem.Memory)
+	}{
+		{"Read64 near 2^64", func(m *mem.Memory) { m.Read64(^uint64(0) - 3) }},
+		{"Write64 near 2^64", func(m *mem.Memory) { m.Write64(^uint64(0)-3, 1) }},
+		{"Read8 at 2^64-1", func(m *mem.Memory) { m.Read8(^uint64(0)) }},
+		{"Read32 wrapping exactly to 0", func(m *mem.Memory) { m.Read32(^uint64(0) - 3) }},
+		{"Region with wrapping length", func(m *mem.Memory) { m.Region(8, ^uint64(0)) }},
+		{"Region at wrapping base", func(m *mem.Memory) { m.Region(^uint64(0)-3, 8) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := mem.New(16)
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected panic on wrapping out-of-bounds access")
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "out of bounds") {
+					t.Fatalf("want the mem package's own bounds panic, got %v", r)
+				}
+			}()
+			tc.access(m)
+		})
+	}
+}
+
+func TestRegion(t *testing.T) {
+	m := mem.New(64)
+	m.Write8(10, 0xab)
+	m.ResetCounters()
+
+	r := m.Region(8, 8)
+	if len(r) != 8 || r[2] != 0xab {
+		t.Fatalf("Region view wrong: len=%d contents=% x", len(r), r)
+	}
+	// The view is live: writes through it are visible to checked reads.
+	r[0] = 0x7f
+	if got := m.Read8(8); got != 0x7f {
+		t.Errorf("write through Region not visible: got %#x", got)
+	}
+	// Region itself must not touch the traffic counters...
+	if m.BytesRead != 1 {
+		t.Errorf("BytesRead = %d, want 1 (only the checked Read8)", m.BytesRead)
+	}
+	// ...AddTraffic accounts them in bulk.
+	m.AddTraffic(100, 200)
+	if m.BytesRead != 101 || m.BytesWritten != 200 {
+		t.Errorf("after AddTraffic: read=%d written=%d, want 101/200", m.BytesRead, m.BytesWritten)
+	}
+	// The view is capped: appending cannot clobber adjacent memory.
+	_ = append(r[:8:8], 0xee)
+	if got := m.Read8(16); got != 0 {
+		t.Errorf("append through Region view clobbered memory: %#x", got)
+	}
+}
+
+func TestRegionOutOfBoundsPanics(t *testing.T) {
+	m := mem.New(16)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-bounds Region")
+		}
+	}()
+	m.Region(12, 8)
 }
 
 func TestSize(t *testing.T) {

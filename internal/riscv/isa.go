@@ -211,11 +211,17 @@ func (a *Assembler) FreshLabel(prefix string) string {
 // Len returns the number of instructions emitted so far.
 func (a *Assembler) Len() int { return len(a.instrs) }
 
-// Finish resolves labels and returns the program.
+// Finish resolves labels and returns the program. Control-flow
+// instructions without a label are rejected: an unresolved branch has no
+// Targets entry, and executing it would fall back to the map's zero value
+// — a silent jump to instruction 0.
 func (a *Assembler) Finish() (*Program, error) {
 	p := &Program{Instrs: a.instrs, Labels: a.labels, Targets: map[int]int{}}
 	for i, ins := range a.instrs {
 		if ins.Label == "" {
+			if ins.Op >= BEQ && ins.Op <= JAL {
+				return nil, fmt.Errorf("riscv: %s at instruction %d has no target label", ins.Op, i)
+			}
 			continue
 		}
 		t, ok := a.labels[ins.Label]

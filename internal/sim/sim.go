@@ -100,11 +100,53 @@ type Segment struct {
 	End   uint64
 }
 
+// Engine selects a Machine execution engine. Both engines implement the
+// same architectural and timing semantics and are continuously
+// cross-checked by the differential oracle (internal/difftest); they
+// differ only in how much work the hot loop does per executed instruction.
+type Engine uint8
+
+// Execution engines.
+const (
+	// EngineRef is the reference interpreter: one instruction at a time,
+	// cost model consulted per instruction. It is the semantics baseline
+	// the fast engine is verified against.
+	EngineRef Engine = iota
+	// EngineFast executes a predecoded program form (riscv.Decode):
+	// pre-resolved branch targets, prefetched cycle costs, and
+	// basic-block-batched counter/trace accounting.
+	EngineFast
+)
+
+func (e Engine) String() string {
+	if e == EngineFast {
+		return "fast"
+	}
+	return "ref"
+}
+
+// EngineByName parses an engine name ("ref" or "fast").
+func EngineByName(name string) (Engine, error) {
+	switch name {
+	case "ref":
+		return EngineRef, nil
+	case "fast":
+		return EngineFast, nil
+	}
+	return EngineRef, fmt.Errorf("sim: unknown engine %q (want ref|fast)", name)
+}
+
+// Engines lists the available engines.
+var Engines = []Engine{EngineRef, EngineFast}
+
 // Machine couples one host with one accelerator device over shared memory.
 type Machine struct {
 	Mem    *mem.Memory
 	Cost   riscv.CostModel
 	Device accel.Device
+
+	// Engine selects the execution engine used by Run (default EngineRef).
+	Engine Engine
 
 	// Regs is the architectural register file; Regs[0] stays zero.
 	Regs [riscv.NumRegs]int64
@@ -169,11 +211,19 @@ func (mc *Machine) reset() {
 	mc.lastJob = accel.Launch{}
 }
 
-// Run executes the program from instruction 0 until HALT. Each call starts
-// from a clean clock, counters and trace, so reusing a Machine is safe; on
-// error, Cycles still reflects the time reached so partial runs are not
-// reported as zero-cycle.
+// Run executes the program from instruction 0 until HALT on the selected
+// Engine. Each call starts from a clean clock, counters and trace, so
+// reusing a Machine is safe; on error, Cycles still reflects the time
+// reached so partial runs are not reported as zero-cycle.
 func (mc *Machine) Run(p *riscv.Program) error {
+	if mc.Engine == EngineFast {
+		return mc.RunDecoded(riscv.Decode(p, mc.Cost))
+	}
+	return mc.runRef(p)
+}
+
+// runRef is the reference interpreter loop.
+func (mc *Machine) runRef(p *riscv.Program) error {
 	mc.reset()
 	limit := mc.MaxInstrs
 	if limit == 0 {
@@ -210,34 +260,41 @@ func (mc *Machine) Run(p *riscv.Program) error {
 	}
 }
 
+// charge accounts one instruction at the *current* time — stalls may have
+// advanced the clock before the instruction issues. It is the closure-free
+// shared accounting primitive of both engines (the fast engine calls it
+// only off the batched path: device ops and limit-straddling block tails).
+func (mc *Machine) charge(class riscv.Class, cost uint64, kind SegmentKind) {
+	start := mc.now
+	mc.HostInstrs++
+	mc.HostCycles += cost
+	switch class {
+	case riscv.ClassConfig:
+		mc.ConfigCycles += cost
+	case riscv.ClassSync:
+		mc.SyncCycles += cost
+	default:
+		mc.CalcCycles += cost
+	}
+	mc.record(kind, start, start+cost)
+	mc.now = start + cost
+}
+
+// setRd writes the destination register, keeping x0 hard-wired to zero.
+func (mc *Machine) setRd(rd riscv.Reg, v int64) {
+	if rd != 0 {
+		mc.Regs[rd] = v
+	}
+}
+
 func (mc *Machine) step(p *riscv.Program, pc int, ins riscv.Instr) (int, error) {
 	cost := mc.Cost.Cycles(ins)
 
-	// charge accounts the instruction at the *current* time — stalls may
-	// have advanced the clock before the instruction issues.
-	charge := func(kind SegmentKind) {
-		start := mc.now
-		mc.HostInstrs++
-		mc.HostCycles += cost
-		switch ins.Class {
-		case riscv.ClassConfig:
-			mc.ConfigCycles += cost
-		case riscv.ClassSync:
-			mc.SyncCycles += cost
-		default:
-			mc.CalcCycles += cost
-		}
-		mc.record(kind, start, start+cost)
-		mc.now = start + cost
-	}
+	charge := func(kind SegmentKind) { mc.charge(ins.Class, cost, kind) }
 
 	rs1 := mc.Regs[ins.Rs1]
 	rs2 := mc.Regs[ins.Rs2]
-	setRd := func(v int64) {
-		if ins.Rd != 0 {
-			mc.Regs[ins.Rd] = v
-		}
-	}
+	setRd := func(v int64) { mc.setRd(ins.Rd, v) }
 
 	switch ins.Op {
 	case riscv.NOP:
@@ -368,15 +425,15 @@ func (mc *Machine) step(p *riscv.Program, pc int, ins riscv.Instr) (int, error) 
 		charge(SegHostExec)
 		return p.Targets[pc], nil
 	case riscv.CUSTOM:
-		if err := mc.custom(ins, rs1, rs2, charge); err != nil {
+		if err := mc.custom(ins.Funct7, ins.Class, cost, rs1, rs2); err != nil {
 			return 0, err
 		}
 	case riscv.CSRRW:
-		if err := mc.csrWrite(uint32(ins.Imm), rs1, charge); err != nil {
+		if err := mc.csrWrite(uint32(ins.Imm), ins.Class, cost, rs1); err != nil {
 			return 0, err
 		}
 	case riscv.CSRRS:
-		if err := mc.csrRead(uint32(ins.Imm), setRd, charge); err != nil {
+		if err := mc.csrRead(uint32(ins.Imm), ins.Rd, ins.Class, cost); err != nil {
 			return 0, err
 		}
 	default:
@@ -385,37 +442,39 @@ func (mc *Machine) step(p *riscv.Program, pc int, ins riscv.Instr) (int, error) 
 	return pc + 1, nil
 }
 
-// custom dispatches a RoCC custom instruction to the device.
-func (mc *Machine) custom(ins riscv.Instr, rs1, rs2 int64, charge func(SegmentKind)) error {
+// custom dispatches a RoCC custom instruction to the device. It is shared
+// by both engines: class and cost are the caller's predecoded (or
+// freshly computed) accounting inputs.
+func (mc *Machine) custom(funct7 uint32, class riscv.Class, cost uint64, rs1, rs2 int64) error {
 	dev := mc.Device
 	if dev == nil {
 		return fmt.Errorf("custom instruction with no device attached")
 	}
-	if dev.IsFence(ins.Funct7) {
+	if dev.IsFence(funct7) {
 		mc.stallUntilIdle()
-		charge(SegHostStall)
+		mc.charge(class, cost, SegHostStall)
 		return nil
 	}
 	// Sequential configuration: the accelerator cannot accept interface
 	// traffic while running — the host stalls (paper §2.2).
 	if dev.Scheme() == accel.Sequential {
 		mc.stallUntilIdle()
-	} else if dev.IsLaunch(ins.Funct7) {
+	} else if dev.IsLaunch(funct7) {
 		// Concurrent: only a launch has to wait for the previous job.
 		mc.stallUntilIdle()
 	}
-	dev.WriteConfig(ins.Funct7, uint64(rs1), uint64(rs2))
+	dev.WriteConfig(funct7, uint64(rs1), uint64(rs2))
 	mc.ConfigInstrs++
-	mc.ConfigBytes += dev.ConfigBytes(ins.Funct7)
-	charge(SegHostConfig)
-	if dev.IsLaunch(ins.Funct7) {
+	mc.ConfigBytes += dev.ConfigBytes(funct7)
+	mc.charge(class, cost, SegHostConfig)
+	if dev.IsLaunch(funct7) {
 		return mc.launch()
 	}
 	return nil
 }
 
-// csrWrite dispatches a CSR write to the device.
-func (mc *Machine) csrWrite(addr uint32, value int64, charge func(SegmentKind)) error {
+// csrWrite dispatches a CSR write to the device (shared by both engines).
+func (mc *Machine) csrWrite(addr uint32, class riscv.Class, cost uint64, value int64) error {
 	dev := mc.Device
 	if dev == nil {
 		return fmt.Errorf("csr write with no device attached")
@@ -426,15 +485,15 @@ func (mc *Machine) csrWrite(addr uint32, value int64, charge func(SegmentKind)) 
 	dev.WriteConfig(addr, uint64(value), 0)
 	mc.ConfigInstrs++
 	mc.ConfigBytes += dev.ConfigBytes(addr)
-	charge(SegHostConfig)
+	mc.charge(class, cost, SegHostConfig)
 	if dev.IsLaunch(addr) {
 		return mc.launch()
 	}
 	return nil
 }
 
-// csrRead handles status/perf CSR reads.
-func (mc *Machine) csrRead(addr uint32, setRd func(int64), charge func(SegmentKind)) error {
+// csrRead handles status/perf CSR reads (shared by both engines).
+func (mc *Machine) csrRead(addr uint32, rd riscv.Reg, class riscv.Class, cost uint64) error {
 	dev := mc.Device
 	if dev == nil {
 		return fmt.Errorf("csr read with no device attached")
@@ -444,13 +503,13 @@ func (mc *Machine) csrRead(addr uint32, setRd func(int64), charge func(SegmentKi
 		busy = 1
 	}
 	if id, ok := dev.StatusID(); ok && addr == id {
-		setRd(busy)
+		mc.setRd(rd, busy)
 	} else {
-		setRd(int64(mc.lastJob.Cycles))
+		mc.setRd(rd, int64(mc.lastJob.Cycles))
 	}
 	// Busy polls are waiting, not useful work: paint them as stalls so
 	// overlap accounting (Figure 7) only counts hidden *work*.
-	charge(SegHostStall)
+	mc.charge(class, cost, SegHostStall)
 	return nil
 }
 

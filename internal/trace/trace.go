@@ -21,15 +21,17 @@ func Timeline(segs []sim.Segment, fromCycle, toCycle uint64, width int) string {
 	}
 	host := []byte(strings.Repeat(".", width))
 	acc := []byte(strings.Repeat(".", width))
-	span := float64(toCycle - fromCycle)
-	col := func(cy uint64) int {
-		f := float64(cy-fromCycle) / span
-		c := int(f * float64(width))
-		if c >= width {
-			c = width - 1
-		}
-		return c
-	}
+	// Column k covers the half-open time interval
+	// [fromCycle + k*span/width, fromCycle + (k+1)*span/width); a segment
+	// paints exactly the columns whose interval it intersects. The
+	// all-integer form keeps the mapping exact (no float rounding) and
+	// makes rendering invariant under segment coalescing: contiguous
+	// same-kind segments paint the same columns merged or not, at every
+	// width — including widths above the cycle span, where the previous
+	// floor-based right edge left spurious idle gaps inside contiguous
+	// activity.
+	span := toCycle - fromCycle
+	w := uint64(width)
 	paint := func(row []byte, s sim.Segment, ch byte) {
 		if s.End <= fromCycle || s.Start >= toCycle {
 			return
@@ -41,7 +43,12 @@ func Timeline(segs []sim.Segment, fromCycle, toCycle uint64, width int) string {
 		if b > toCycle {
 			b = toCycle
 		}
-		for c := col(a); c <= col(b-1); c++ {
+		lo := (a - fromCycle) * w / span
+		hi := ((b-fromCycle)*w - 1) / span
+		if hi > w-1 {
+			hi = w - 1
+		}
+		for c := lo; c <= hi; c++ {
 			row[c] = ch
 		}
 	}
@@ -63,6 +70,28 @@ func Timeline(segs []sim.Segment, fromCycle, toCycle uint64, width int) string {
 	fmt.Fprintf(&sb, "accel |%s|\n", acc)
 	sb.WriteString("legend: E=host execute  C=host configure  .=idle/stall  #=accelerator busy\n")
 	return sb.String()
+}
+
+// Coalesce merges adjacent same-kind contiguous segments and drops empty
+// ones, returning a new slice. It is the offline form of the merging the
+// simulator performs at record time (Machine.record): for any stream of
+// non-empty segments — the only kind the recorder emits — Summarize,
+// OverlapCycles and Timeline produce identical output for the raw and the
+// coalesced stream (see the property tests), so a coalesced trace is a
+// drop-in, smaller replacement for a raw one.
+func Coalesce(segs []sim.Segment) []sim.Segment {
+	var out []sim.Segment
+	for _, s := range segs {
+		if s.End <= s.Start {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Kind == s.Kind && out[n-1].End == s.Start {
+			out[n-1].End = s.End
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // Summary aggregates segment durations per kind.

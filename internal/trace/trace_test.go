@@ -19,6 +19,100 @@ func sampleSegments() []sim.Segment {
 	}
 }
 
+// randomSegmentStream builds a plausible recorder output: a host track of
+// contiguous non-empty segments (with deliberate same-kind runs so
+// coalescing has work to do) and an accelerator track of busy intervals,
+// interleaved the way Machine.record emits them.
+func randomSegmentStream(rng *rand.Rand) []sim.Segment {
+	var segs []sim.Segment
+	hostKinds := []sim.SegmentKind{sim.SegHostExec, sim.SegHostConfig, sim.SegHostStall}
+	now := uint64(rng.Intn(5))
+	kind := hostKinds[rng.Intn(len(hostKinds))]
+	for i, n := 0, 5+rng.Intn(60); i < n; i++ {
+		// Frequently keep the previous kind to create mergeable runs, and
+		// occasionally leave a gap so not everything is contiguous.
+		if rng.Intn(3) == 0 {
+			kind = hostKinds[rng.Intn(len(hostKinds))]
+		}
+		if rng.Intn(8) == 0 {
+			now += 1 + uint64(rng.Intn(7))
+		}
+		d := 1 + uint64(rng.Intn(9))
+		segs = append(segs, sim.Segment{Kind: kind, Start: now, End: now + d})
+		now += d
+		if rng.Intn(6) == 0 {
+			busyStart := now - uint64(rng.Intn(int(d)))
+			segs = append(segs, sim.Segment{Kind: sim.SegAccelBusy, Start: busyStart, End: busyStart + 1 + uint64(rng.Intn(20))})
+		}
+	}
+	return segs
+}
+
+// TestCoalescePreservesObservables is the property test for trace-segment
+// coalescing: for random recorder-shaped streams, the coalesced stream
+// must be no longer than the raw one and must produce byte-identical
+// Summarize, OverlapCycles and Timeline output.
+func TestCoalescePreservesObservables(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		raw := randomSegmentStream(rng)
+		merged := trace.Coalesce(raw)
+		if len(merged) > len(raw) {
+			t.Fatalf("trial %d: coalesced stream grew: %d -> %d", trial, len(raw), len(merged))
+		}
+		// Coalesced runs must actually be merged: no two adjacent output
+		// segments may be contiguous and same-kind.
+		for i := 1; i < len(merged); i++ {
+			if merged[i].Kind == merged[i-1].Kind && merged[i].Start == merged[i-1].End {
+				t.Fatalf("trial %d: unmerged adjacent segments %+v %+v", trial, merged[i-1], merged[i])
+			}
+		}
+		if a, b := trace.Summarize(raw), trace.Summarize(merged); a != b {
+			t.Fatalf("trial %d: Summarize differs:\nraw:    %+v\nmerged: %+v", trial, a, b)
+		}
+		if a, b := trace.OverlapCycles(raw), trace.OverlapCycles(merged); a != b {
+			t.Fatalf("trial %d: OverlapCycles differs: raw %d, merged %d", trial, a, b)
+		}
+		var hi uint64
+		for _, s := range raw {
+			if s.End > hi {
+				hi = s.End
+			}
+		}
+		for _, width := range []int{1, 17, 80} {
+			if a, b := trace.Timeline(raw, 0, hi, width), trace.Timeline(merged, 0, hi, width); a != b {
+				t.Fatalf("trial %d width %d: Timeline differs:\nraw:\n%s\nmerged:\n%s", trial, width, a, b)
+			}
+		}
+	}
+}
+
+func TestCoalesceDropsEmptyAndMergesRuns(t *testing.T) {
+	raw := []sim.Segment{
+		{Kind: sim.SegHostExec, Start: 0, End: 4},
+		{Kind: sim.SegHostExec, Start: 4, End: 4}, // empty: dropped
+		{Kind: sim.SegHostExec, Start: 4, End: 9},
+		{Kind: sim.SegHostConfig, Start: 9, End: 12},
+		{Kind: sim.SegHostExec, Start: 12, End: 14}, // same kind, gap at 14
+		{Kind: sim.SegHostExec, Start: 15, End: 16}, // not contiguous: kept
+	}
+	got := trace.Coalesce(raw)
+	want := []sim.Segment{
+		{Kind: sim.SegHostExec, Start: 0, End: 9},
+		{Kind: sim.SegHostConfig, Start: 9, End: 12},
+		{Kind: sim.SegHostExec, Start: 12, End: 14},
+		{Kind: sim.SegHostExec, Start: 15, End: 16},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Coalesce = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Coalesce[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestTimelineRendering(t *testing.T) {
 	out := trace.Timeline(sampleSegments(), 0, 60, 60)
 	if !strings.Contains(out, "host  |") || !strings.Contains(out, "accel |") {
