@@ -14,6 +14,7 @@ package configwall_test
 // metrics are the paper-relevant (stable) quantities.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -333,7 +334,7 @@ func benchSweep(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		// A fresh runner per iteration: this measures real compile+simulate
 		// throughput, not cache hits.
-		if _, err := configwall.NewRunner(workers).RunAll(exps, configwall.RunOptions{SkipVerify: true}); err != nil {
+		if _, err := configwall.NewRunner(workers).RunAll(context.Background(), exps, configwall.RunOptions{SkipVerify: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -346,12 +347,12 @@ func BenchmarkSweep_Parallel(b *testing.B) { benchSweep(b, 0) }
 func BenchmarkSweep_CacheHit(b *testing.B) {
 	exps := sweepForBench()
 	r := configwall.NewRunner(0)
-	if _, err := r.RunAll(exps, configwall.RunOptions{SkipVerify: true}); err != nil {
+	if _, err := r.RunAll(context.Background(), exps, configwall.RunOptions{SkipVerify: true}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.RunAll(exps, configwall.RunOptions{SkipVerify: true}); err != nil {
+		if _, err := r.RunAll(context.Background(), exps, configwall.RunOptions{SkipVerify: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -370,13 +371,13 @@ func BenchmarkSweep_StoreHit(b *testing.B) {
 		b.Fatal(err)
 	}
 	warm := configwall.NewRunnerWith(configwall.RunnerOptions{Store: st})
-	if _, err := warm.RunAll(exps, opts); err != nil {
+	if _, err := warm.RunAll(context.Background(), exps, opts); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := configwall.NewRunnerWith(configwall.RunnerOptions{Store: st})
-		if _, err := r.RunAll(exps, opts); err != nil {
+		if _, err := r.RunAll(context.Background(), exps, opts); err != nil {
 			b.Fatal(err)
 		}
 		if s := r.Snapshot(); s.Runs != 0 {
@@ -398,7 +399,7 @@ func BenchmarkSweep_StoreWrite(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if _, err := configwall.NewRunnerWith(configwall.RunnerOptions{Store: st}).RunAll(exps, opts); err != nil {
+		if _, err := configwall.NewRunnerWith(configwall.RunnerOptions{Store: st}).RunAll(context.Background(), exps, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,6 +9,8 @@
 //	cwbench -cache-dir .cwcache  # persist results; reruns recompute nothing
 //	cwbench -cache-dir .cwcache -shard 0/4   # precompute 1/4 of the grid
 //	cwbench -cache-stats       # report cache hit/miss/run counters
+//	cwbench -engine fast       # run every experiment on the fast engine
+//	cwbench -cache-dir .cwcache -store-ls    # list the stored entries
 //	cwbench -cpuprofile cw.pprof -only fig11  # pprof profile of a real sweep
 //
 // All experiment cells run on one shared concurrent runner, so artifacts
@@ -23,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +36,7 @@ import (
 	"configwall/internal/accel/gemmini"
 	"configwall/internal/core"
 	"configwall/internal/roofline"
+	"configwall/internal/sim"
 	"configwall/internal/store"
 )
 
@@ -48,7 +52,8 @@ type artifact struct {
 // bench carries the shared state of one cwbench invocation.
 type bench struct {
 	runner *core.Runner
-	sizes  []int // overrides the per-figure defaults when non-empty
+	sizes  []int           // overrides the per-figure defaults when non-empty
+	opts   core.RunOptions // shared run options (engine selection)
 }
 
 func (b *bench) pick(def []int) []int {
@@ -106,7 +111,7 @@ var artifacts = []artifact{
 		return nil
 	}},
 	{name: "fig10", run: func(b *bench) error {
-		rows, err := core.Figure10With(b.runner, b.pick(core.Figure10Sizes), core.RunOptions{})
+		rows, err := core.Figure10With(context.Background(), b.runner, b.pick(core.Figure10Sizes), b.opts)
 		if err != nil {
 			return err
 		}
@@ -116,7 +121,7 @@ var artifacts = []artifact{
 		return core.Figure10Experiments(b.pick(core.Figure10Sizes))
 	}},
 	{name: "fig11", run: func(b *bench) error {
-		rows, err := core.Figure11With(b.runner, b.pick(core.Figure11Sizes), core.RunOptions{})
+		rows, err := core.Figure11With(context.Background(), b.runner, b.pick(core.Figure11Sizes), b.opts)
 		if err != nil {
 			return err
 		}
@@ -126,7 +131,7 @@ var artifacts = []artifact{
 		return core.Figure11Experiments(b.pick(core.Figure11Sizes))
 	}},
 	{name: "fig12", run: func(b *bench) error {
-		data, err := core.Figure12With(b.runner, b.pick(core.Figure12Sizes), core.RunOptions{})
+		data, err := core.Figure12With(context.Background(), b.runner, b.pick(core.Figure12Sizes), b.opts)
 		if err != nil {
 			return err
 		}
@@ -152,6 +157,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "directory of the persistent experiment-result store (empty = in-memory only)")
 	shardSpec := flag.String("shard", "", "precompute shard i/m of the figure grid into -cache-dir and render nothing (e.g. 0/4)")
 	cacheStats := flag.Bool("cache-stats", false, "print runner cache statistics after the run")
+	engineName := flag.String("engine", "ref", "simulator engine for every experiment ("+strings.Join(sim.EngineNames(), "|")+")")
+	storeLS := flag.Bool("store-ls", false, "list the entries of -cache-dir (sorted by cache key) and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.Parse()
 
@@ -174,15 +181,31 @@ func main() {
 		}()
 	}
 
+	engine, err := sim.EngineByName(*engineName)
+	if err != nil {
+		// Mirror the unknown -only behavior: fail fast, listing the valid
+		// names, so a mistyped service config never runs the wrong engine.
+		fatal("%v", err)
+	}
+
 	ropts := core.RunnerOptions{Workers: *workers}
+	var st *store.DiskStore
 	if *cacheDir != "" {
-		st, err := store.Open(*cacheDir)
-		if err != nil {
+		if st, err = store.Open(*cacheDir); err != nil {
 			fatal("%v", err)
 		}
 		ropts.Store = st
 	}
-	b := &bench{runner: core.NewRunnerWith(ropts)}
+	if *storeLS {
+		if st == nil {
+			fatal("-store-ls requires -cache-dir")
+		}
+		if err := listStore(st); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	b := &bench{runner: core.NewRunnerWith(ropts), opts: core.RunOptions{Engine: engine}}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -246,7 +269,7 @@ func precomputeShard(b *bench, only, spec string) error {
 	if err != nil {
 		return err
 	}
-	if _, err := b.runner.RunAll(part, core.RunOptions{}); err != nil {
+	if _, err := b.runner.RunAll(context.Background(), part, b.opts); err != nil {
 		return err
 	}
 	s := b.runner.Snapshot()
@@ -288,6 +311,24 @@ func figureGrid(b *bench, only string) []core.Experiment {
 		}
 	}
 	return grid
+}
+
+// listStore prints every enumerable entry of the persistent store, one
+// line per cell in sorted cache-key order, for cache inspection.
+func listStore(st *store.DiskStore) error {
+	n := 0
+	err := st.Each(func(e store.Entry) error {
+		n++
+		fmt.Printf("%-32s engine=%-4s trace=%-5t skipverify=%-5t cycles=%-10d verified=%t\n",
+			e.Experiment, e.Options.Engine, e.Options.RecordTrace, e.Options.SkipVerify,
+			e.Result.Cycles, e.Result.Verified)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("total: %d entries in %s\n", n, st.Dir())
+	return nil
 }
 
 func section(title string) {

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -114,7 +115,7 @@ func runCampaign(tn string, seed int64, n, workers int, corpus string, noshrink,
 	}
 
 	results := make([]programResult, n)
-	core.ParallelEach(n, workers, func(i int) {
+	core.ParallelEach(context.Background(), n, workers, func(i int) {
 		r := &results[i]
 		r.index = i
 		r.seed = irgen.DeriveSeed(seed, tn, i)

@@ -31,17 +31,25 @@
 //	exps := configwall.SweepExperiments(
 //		configwall.TargetNames(), []string{configwall.WorkloadMatmul},
 //		configwall.Pipelines, []int{16, 32, 64})
-//	results, err := r.RunAll(exps, configwall.RunOptions{})
+//	results, err := r.RunAll(ctx, exps, configwall.RunOptions{})
+//
+// For long-lived use the runner and store can be served over HTTP
+// (cmd/cwserve): NewServer wraps a Runner with request coalescing, a
+// bounded admission queue and live metrics, NewServeClient talks to such
+// a daemon, and LoadGen replays a zipf-skewed request mix against it.
 //
 // See the examples/ directory for complete programs and DESIGN.md for the
 // per-experiment index.
 package configwall
 
 import (
+	"context"
+
 	"configwall/internal/core"
 	"configwall/internal/difftest"
 	"configwall/internal/irgen"
 	"configwall/internal/roofline"
+	"configwall/internal/serve"
 	"configwall/internal/sim"
 	"configwall/internal/store"
 )
@@ -184,6 +192,11 @@ type DiskStore = store.DiskStore
 // OpenStore prepares a disk store rooted at dir, creating it if needed.
 func OpenStore(dir string) (*DiskStore, error) { return store.Open(dir) }
 
+// StoreEntry is one enumerated disk-store record (see DiskStore.Each and
+// DiskStore.Keys): the fingerprint key plus the self-described experiment,
+// options and result.
+type StoreEntry = store.Entry
+
 // ShardExperiments returns the i-th of m strided partitions of a sweep.
 // The m shards are disjoint and cover the sweep exactly, so a grid can be
 // split across processes that share a persistent store.
@@ -268,4 +281,53 @@ func DiffCheck(t Target, prog FuzzProgram, opts DiffOptions) DiffReport {
 // FuzzSeed derives the per-program generator seed used by cwfuzz campaigns.
 func FuzzSeed(campaign int64, target string, index int) int64 {
 	return irgen.DeriveSeed(campaign, target, index)
+}
+
+// --- Experiment serving (internal/serve) ---
+//
+// The serving subsystem behind cmd/cwserve and cmd/cwload: an HTTP JSON
+// API over the memoized runner and the persistent store, with singleflight
+// request coalescing, a bounded admission queue with 429 backpressure,
+// NDJSON sweep streaming, live metrics and graceful drain (DESIGN.md §7).
+
+// Server is the experiment-serving daemon core: an http.Handler over a
+// Runner. Mount it on an http.Server and call BeginDrain/Close around the
+// listener's shutdown.
+type Server = serve.Server
+
+// ServerOptions configures a Server: the Runner (required), the
+// computation concurrency bound, the admission queue depth and timeout,
+// and the sweep-size cap.
+type ServerOptions = serve.Options
+
+// NewServer builds an experiment server from opts.
+func NewServer(opts ServerOptions) (*Server, error) { return serve.New(opts) }
+
+// ServeClient is a Go client for a cwserve daemon.
+type ServeClient = serve.Client
+
+// NewServeClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080").
+func NewServeClient(base string) *ServeClient { return serve.NewClient(base) }
+
+// ServeRunRequest is the /v1/run request document.
+type ServeRunRequest = serve.RunRequest
+
+// ServeSweepRequest is the /v1/sweep request document.
+type ServeSweepRequest = serve.SweepRequest
+
+// ServeSweepEvent is one NDJSON event of a streaming sweep.
+type ServeSweepEvent = serve.SweepEvent
+
+// LoadGenOptions configures a zipf-skewed load-generation run.
+type LoadGenOptions = serve.LoadGenOptions
+
+// LoadGenReport summarizes a load-generation run (throughput, latency
+// percentiles, status histogram, byte-identity verification).
+type LoadGenReport = serve.LoadGenReport
+
+// LoadGen replays a zipf-skewed experiment request mix against a cwserve
+// daemon and reports throughput and latency.
+func LoadGen(ctx context.Context, c *ServeClient, o LoadGenOptions) (LoadGenReport, error) {
+	return serve.LoadGen(ctx, c, o)
 }

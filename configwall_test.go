@@ -1,6 +1,8 @@
 package configwall_test
 
 import (
+	"context"
+	"net/http/httptest"
 	"testing"
 	"testing/quick"
 
@@ -42,7 +44,7 @@ func TestPublicStoreAndShardAPI(t *testing.T) {
 			t.Fatal(err)
 		}
 		r := configwall.NewRunnerWith(configwall.RunnerOptions{Store: st, MaxCells: 4})
-		if _, err := r.RunAll(part, opts); err != nil {
+		if _, err := r.RunAll(context.Background(), part, opts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -52,7 +54,7 @@ func TestPublicStoreAndShardAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := configwall.NewRunnerWith(configwall.RunnerOptions{Store: st})
-	results, err := r.RunAll(exps, opts)
+	results, err := r.RunAll(context.Background(), exps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,5 +132,52 @@ func TestPipelineEnumeration(t *testing.T) {
 		if !names[want] {
 			t.Errorf("missing pipeline %q", want)
 		}
+	}
+}
+
+// TestPublicServeAPI drives the serving surface end to end through the
+// exported names: boot a server over a runner, query it with the client,
+// replay a short load-generation burst, and enumerate the backing store.
+func TestPublicServeAPI(t *testing.T) {
+	dir := t.TempDir()
+	st, err := configwall.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := configwall.NewRunnerWith(configwall.RunnerOptions{Store: st})
+	sv, err := configwall.NewServer(configwall.ServerOptions{Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(sv)
+	defer func() { ts.Close(); sv.Close() }()
+
+	c := configwall.NewServeClient(ts.URL)
+	exps := configwall.SweepExperiments(
+		[]string{"opengemm"}, []string{configwall.WorkloadMatmul},
+		[]configwall.Pipeline{configwall.Baseline, configwall.AllOptimizations}, []int{8})
+	rep, err := configwall.LoadGen(context.Background(), c, configwall.LoadGenOptions{
+		Experiments: exps, Requests: 200, Clients: 4, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Mismatched != 0 {
+		t.Fatalf("loadgen: %d errors, %d mismatches\n%s", rep.Errors, rep.Mismatched, rep)
+	}
+	if stats := runner.Snapshot(); stats.Runs != uint64(rep.Distinct) {
+		t.Errorf("Runs = %d for %d distinct cells", stats.Runs, rep.Distinct)
+	}
+
+	// The store behind the server is enumerable through the public API.
+	var entries []configwall.StoreEntry
+	if err := st.Each(func(e configwall.StoreEntry) error {
+		entries = append(entries, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != rep.Distinct {
+		t.Errorf("store holds %d entries, want %d (one per distinct cell)", len(entries), rep.Distinct)
 	}
 }

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -246,7 +247,7 @@ func main() {
 
 	const rows = 16
 	exps := core.Sweep([]string{"scaler"}, []string{"rowscale"}, core.Pipelines, []int{rows})
-	results, err := core.NewRunner(0).RunAll(exps, core.RunOptions{})
+	results, err := core.NewRunner(0).RunAll(context.Background(), exps, core.RunOptions{})
 	if err != nil {
 		fatal("%v", err)
 	}

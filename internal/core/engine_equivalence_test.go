@@ -7,6 +7,7 @@ package core_test
 // figures depend on.)
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -67,10 +68,10 @@ func TestFigureOutputsIdenticalAcrossEngines(t *testing.T) {
 func TestRunnerKeepsEnginesSeparate(t *testing.T) {
 	r := core.NewRunner(1)
 	e := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 16}
-	if _, err := r.Run(e, core.RunOptions{SkipVerify: true, Engine: sim.EngineRef}); err != nil {
+	if _, err := r.Run(context.Background(), e, core.RunOptions{SkipVerify: true, Engine: sim.EngineRef}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Run(e, core.RunOptions{SkipVerify: true, Engine: sim.EngineFast}); err != nil {
+	if _, err := r.Run(context.Background(), e, core.RunOptions{SkipVerify: true, Engine: sim.EngineFast}); err != nil {
 		t.Fatal(err)
 	}
 	if s := r.Snapshot(); s.Runs != 2 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -68,7 +69,7 @@ type Fig10Row struct {
 // Figure10 runs the Gemmini weight-stationary tiled matmuls and applies the
 // paper's attainable-performance methodology, on a fresh concurrent runner.
 func Figure10(sizes []int, opts RunOptions) ([]Fig10Row, error) {
-	return Figure10With(NewRunner(0), sizes, opts)
+	return Figure10With(context.Background(), NewRunner(0), sizes, opts)
 }
 
 // Figure10Experiments lists the grid cells Figure 10 measures, in the
@@ -87,8 +88,8 @@ func Figure10Experiments(sizes []int) []Experiment {
 
 // Figure10With is Figure10 on a caller-provided runner, so consecutive
 // figures share the experiment cache (and its persistent store, if any).
-func Figure10With(r *Runner, sizes []int, opts RunOptions) ([]Fig10Row, error) {
-	results, err := r.RunAll(Figure10Experiments(sizes), opts)
+func Figure10With(ctx context.Context, r *Runner, sizes []int, opts RunOptions) ([]Fig10Row, error) {
+	results, err := r.RunAll(ctx, Figure10Experiments(sizes), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +146,7 @@ type Fig11Row struct {
 // Figure11 runs the OpenGeMM tiled matmuls and measures cycle-accurate
 // performance (the paper's §6.2 methodology), on a fresh concurrent runner.
 func Figure11(sizes []int, opts RunOptions) ([]Fig11Row, error) {
-	return Figure11With(NewRunner(0), sizes, opts)
+	return Figure11With(context.Background(), NewRunner(0), sizes, opts)
 }
 
 // Figure11Experiments lists the grid cells Figure 11 measures, in the
@@ -163,8 +164,8 @@ func Figure11Experiments(sizes []int) []Experiment {
 
 // Figure11With is Figure11 on a caller-provided runner, so consecutive
 // figures share the experiment cache (and its persistent store, if any).
-func Figure11With(r *Runner, sizes []int, opts RunOptions) ([]Fig11Row, error) {
-	results, err := r.RunAll(Figure11Experiments(sizes), opts)
+func Figure11With(ctx context.Context, r *Runner, sizes []int, opts RunOptions) ([]Fig11Row, error) {
+	results, err := r.RunAll(ctx, Figure11Experiments(sizes), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +217,7 @@ type Fig12Data struct {
 // Figure12 measures OpenGeMM under all four pipeline variants and places
 // the results on the configuration roofline, on a fresh concurrent runner.
 func Figure12(sizes []int, opts RunOptions) (Fig12Data, error) {
-	return Figure12With(NewRunner(0), sizes, opts)
+	return Figure12With(context.Background(), NewRunner(0), sizes, opts)
 }
 
 // Figure12Experiments lists the grid cells Figure 12 measures (every
@@ -228,13 +229,13 @@ func Figure12Experiments(sizes []int) []Experiment {
 // Figure12With is Figure12 on a caller-provided runner, so consecutive
 // figures share the experiment cache (Figure 11 and Figure 12 share their
 // base/all cells at common sizes).
-func Figure12With(r *Runner, sizes []int, opts RunOptions) (Fig12Data, error) {
+func Figure12With(ctx context.Context, r *Runner, sizes []int, opts RunOptions) (Fig12Data, error) {
 	t, err := LookupTarget(opengemm.Name)
 	if err != nil {
 		return Fig12Data{}, err
 	}
 	data := Fig12Data{Model: t.RooflineModel()}
-	results, err := r.RunAll(Figure12Experiments(sizes), opts)
+	results, err := r.RunAll(ctx, Figure12Experiments(sizes), opts)
 	if err != nil {
 		return data, err
 	}

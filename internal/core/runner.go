@@ -17,6 +17,7 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -68,12 +69,26 @@ func keyOf(e Experiment, opts RunOptions) cacheKey {
 	return cacheKey{exp: e, recordTrace: opts.RecordTrace, skipVerify: opts.SkipVerify, engine: opts.Engine}
 }
 
-// cell is one memoized experiment execution; Once collapses concurrent
-// duplicate requests into a single run.
+// cell is one memoized experiment execution. Concurrent duplicate requests
+// collapse onto it: exactly one goroutine claims the cell and computes (or
+// loads) the result, every other goroutine waits on done — selectable
+// against a context, so an abandoned request stops waiting without
+// disturbing the computation that still serves everyone else.
 type cell struct {
-	once sync.Once
+	win  sync.Once
+	done chan struct{}
 	res  Result
 	err  error
+}
+
+func newCell() *cell { return &cell{done: make(chan struct{})} }
+
+// claim reports whether the caller won the right (and the obligation) to
+// publish the cell's result and close done.
+func (c *cell) claim() bool {
+	won := false
+	c.win.Do(func() { won = true })
+	return won
 }
 
 // lruEntry pairs a cell with its key so eviction can delete the map entry.
@@ -164,7 +179,7 @@ func (r *Runner) cell(k cacheKey) (c *cell, created bool) {
 		return el.Value.(*lruEntry).c, false
 	}
 	r.stats.MemMisses++
-	c = &cell{}
+	c = newCell()
 	r.cells[k] = r.lru.PushFront(&lruEntry{key: k, c: c})
 	if r.maxCells > 0 {
 		for r.lru.Len() > r.maxCells {
@@ -190,43 +205,82 @@ func (r *Runner) bump(f func(*CacheStats)) {
 // consults the persistent store, then compiles and simulates on a store
 // miss; every later request (including a concurrent duplicate) returns the
 // stored result. Fresh results are saved back to the store.
-func (r *Runner) Run(e Experiment, opts RunOptions) (Result, error) {
+//
+// The context governs waiting, not computing: a request that arrives while
+// the cell is in flight waits cancellably for it, and a request whose
+// context is already cancelled returns immediately — but once a goroutine
+// has claimed a cell it computes to completion (the deterministic result
+// serves every later request, including requests whose owner gave up).
+func (r *Runner) Run(ctx context.Context, e Experiment, opts RunOptions) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	c, _ := r.cell(keyOf(e, opts))
-	c.once.Do(func() {
-		if r.store != nil {
-			res, ok, err := r.store.Load(e, opts)
-			switch {
-			case err != nil:
-				r.bump(func(s *CacheStats) { s.StoreErrors++ })
-			case ok:
-				r.bump(func(s *CacheStats) { s.StoreHits++ })
-				c.res = res
-				return
-			default:
-				r.bump(func(s *CacheStats) { s.StoreMisses++ })
-			}
+	if c.claim() {
+		c.res, c.err = r.compute(e, opts)
+		close(c.done)
+		return c.res, c.err
+	}
+	select {
+	case <-c.done:
+		return c.res, c.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// compute resolves one claimed cell: store load, then compile + simulate on
+// a miss, with the fresh result saved back.
+func (r *Runner) compute(e Experiment, opts RunOptions) (Result, error) {
+	if r.store != nil {
+		res, ok, err := r.store.Load(e, opts)
+		switch {
+		case err != nil:
+			r.bump(func(s *CacheStats) { s.StoreErrors++ })
+		case ok:
+			r.bump(func(s *CacheStats) { s.StoreHits++ })
+			return res, nil
+		default:
+			r.bump(func(s *CacheStats) { s.StoreMisses++ })
 		}
-		c.res, c.err = RunExperiment(e, opts)
-		r.bump(func(s *CacheStats) { s.Runs++ })
-		if r.store != nil && c.err == nil {
-			if err := r.store.Save(e, opts, c.res); err != nil {
-				r.bump(func(s *CacheStats) { s.StoreErrors++ })
-			}
+	}
+	res, err := RunExperiment(e, opts)
+	r.bump(func(s *CacheStats) { s.Runs++ })
+	if r.store != nil && err == nil {
+		if serr := r.store.Save(e, opts, res); serr != nil {
+			r.bump(func(s *CacheStats) { s.StoreErrors++ })
 		}
-	})
-	return c.res, c.err
+	}
+	return res, err
+}
+
+// Preload publishes an already-materialized result into the in-memory cell
+// map without consulting the store or computing anything; it reports
+// whether the cell was unclaimed and is now served from res. Serving
+// layers use it to warm a runner from a store enumeration at boot.
+func (r *Runner) Preload(e Experiment, opts RunOptions, res Result) bool {
+	c, _ := r.cell(keyOf(e, opts))
+	if !c.claim() {
+		return false
+	}
+	c.res = res
+	close(c.done)
+	return true
 }
 
 // Warm populates the in-memory cell map from the persistent store without
 // computing anything, and returns how many cells it loaded. Cells already
-// in memory, absent from the store, or unreadable are skipped. A Runner
-// with no store warms nothing.
-func (r *Runner) Warm(exps []Experiment, opts RunOptions) int {
+// in memory, absent from the store, or unreadable are skipped; a cancelled
+// context stops the scan early. A Runner with no store warms nothing.
+func (r *Runner) Warm(ctx context.Context, exps []Experiment, opts RunOptions) int {
 	if r.store == nil {
 		return 0
 	}
 	warmed := 0
 	for _, e := range exps {
+		if ctx.Err() != nil {
+			return warmed
+		}
 		k := keyOf(e, opts)
 		r.mu.Lock()
 		_, inMem := r.cells[k]
@@ -242,15 +296,9 @@ func (r *Runner) Warm(exps []Experiment, opts RunOptions) int {
 		if !ok {
 			continue
 		}
-		c, _ := r.cell(k)
-		loaded := false
 		// A concurrent Run may have claimed the cell between the lookups;
-		// its once wins and this load is discarded.
-		c.once.Do(func() {
-			c.res = res
-			loaded = true
-		})
-		if loaded {
+		// its claim wins and this load is discarded.
+		if r.Preload(e, opts, res) {
 			r.bump(func(s *CacheStats) { s.StoreHits++ })
 			warmed++
 		}
@@ -260,10 +308,14 @@ func (r *Runner) Warm(exps []Experiment, opts RunOptions) int {
 
 // Missing filters exps down to the cells that would actually compute: not
 // in the in-memory map and not loadable from the store. It is the planning
-// half of sweep resume — after a crash, Missing lists the unfinished cells.
-func (r *Runner) Missing(exps []Experiment, opts RunOptions) []Experiment {
+// half of sweep resume — after a crash, Missing lists the unfinished
+// cells. A cancelled context stops the scan and returns the list so far.
+func (r *Runner) Missing(ctx context.Context, exps []Experiment, opts RunOptions) []Experiment {
 	var missing []Experiment
 	for _, e := range exps {
+		if ctx.Err() != nil {
+			return missing
+		}
 		k := keyOf(e, opts)
 		r.mu.Lock()
 		_, inMem := r.cells[k]
@@ -288,14 +340,20 @@ func (r *Runner) Missing(exps []Experiment, opts RunOptions) []Experiment {
 // returns their results in input order — results[i] belongs to exps[i], so
 // parallel output is byte-identical to a serial (workers = 1) run. On
 // failure it returns the error of the lowest-indexed failing experiment
-// alongside the partial results.
-func (r *Runner) RunAll(exps []Experiment, opts RunOptions) ([]Result, error) {
+// alongside the partial results. A cancelled context stops dispatching
+// further experiments and returns the context's error with the partial
+// results (experiments already in flight run to completion and stay
+// cached).
+func (r *Runner) RunAll(ctx context.Context, exps []Experiment, opts RunOptions) ([]Result, error) {
 	results := make([]Result, len(exps))
 	errs := make([]error, len(exps))
 
-	ParallelEach(len(exps), r.workers, func(i int) {
-		results[i], errs[i] = r.Run(exps[i], opts)
+	ParallelEach(ctx, len(exps), r.workers, func(i int) {
+		results[i], errs[i] = r.Run(ctx, exps[i], opts)
 	})
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
 
 	for i, err := range errs {
 		if err != nil {
@@ -305,14 +363,20 @@ func (r *Runner) RunAll(exps []Experiment, opts RunOptions) ([]Result, error) {
 	return results, nil
 }
 
-// ParallelEach runs fn(i) for every i in [0, n) on a bounded worker pool —
-// the execution backbone shared by Runner.RunAll and the cwfuzz campaign
-// driver. workers <= 0 selects GOMAXPROCS; the pool never exceeds n. fn is
-// responsible for writing its result into an index-addressed slot, which
-// keeps concurrent output deterministic and input-ordered.
-func ParallelEach(n, workers int, fn func(i int)) {
+// ParallelEach runs fn(i) for i in [0, n) on a bounded worker pool — the
+// execution backbone shared by Runner.RunAll, the serving layer's sweep
+// endpoint and the cwfuzz campaign driver. workers <= 0 selects
+// GOMAXPROCS; the pool never exceeds n. fn is responsible for writing its
+// result into an index-addressed slot, which keeps concurrent output
+// deterministic and input-ordered.
+//
+// A cancelled context stops further dispatch: indices not yet handed to a
+// worker are never run (their slots stay untouched), indices already
+// running complete, and the context's error is returned. A nil error means
+// fn ran for every index.
+func ParallelEach(ctx context.Context, n, workers int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -335,11 +399,18 @@ func ParallelEach(n, workers int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Sweep builds the full cross product of the given targets, workloads,

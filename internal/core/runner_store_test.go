@@ -5,6 +5,7 @@ package core_test
 // the shard/resume workflow for split figure grids.
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sync"
@@ -29,15 +30,15 @@ func diskRunner(t *testing.T, dir string, maxCells int) *core.Runner {
 func renderAllFigures(t *testing.T, r *core.Runner, opts core.RunOptions) string {
 	t.Helper()
 	sizes := []int{16, 32}
-	rows10, err := core.Figure10With(r, sizes, opts)
+	rows10, err := core.Figure10With(context.Background(), r, sizes, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows11, err := core.Figure11With(r, sizes, opts)
+	rows11, err := core.Figure11With(context.Background(), r, sizes, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d12, err := core.Figure12With(r, sizes, opts)
+	d12, err := core.Figure12With(context.Background(), r, sizes, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestRunnerLRUEviction(t *testing.T) {
 		{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 24},
 	}
 	for _, e := range exps {
-		if _, err := r.Run(e, opts); err != nil {
+		if _, err := r.Run(context.Background(), e, opts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -110,7 +111,7 @@ func TestRunnerLRUEviction(t *testing.T) {
 		t.Errorf("Runs = %d, want 3", s.Runs)
 	}
 	// exps[0] was evicted; re-requesting it must hit the store, not rerun.
-	if _, err := r.Run(exps[0], opts); err != nil {
+	if _, err := r.Run(context.Background(), exps[0], opts); err != nil {
 		t.Fatal(err)
 	}
 	s = r.Snapshot()
@@ -134,20 +135,20 @@ func TestRunnerLRUTouchOnHit(t *testing.T) {
 	b := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 16}
 	c := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 24}
 	for _, e := range []core.Experiment{a, b, a, c} { // touch a before c evicts
-		if _, err := r.Run(e, opts); err != nil {
+		if _, err := r.Run(context.Background(), e, opts); err != nil {
 			t.Fatal(err)
 		}
 	}
 	s := r.Snapshot()
 	// b (least recently used) was evicted; re-running a must not recompute.
-	if _, err := r.Run(a, opts); err != nil {
+	if _, err := r.Run(context.Background(), a, opts); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.Snapshot().Runs; got != s.Runs {
 		t.Errorf("a was evicted despite recent touch: Runs went %d -> %d", s.Runs, got)
 	}
 	// b recomputes (no store to fall back on).
-	if _, err := r.Run(b, opts); err != nil {
+	if _, err := r.Run(context.Background(), b, opts); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.Snapshot().Runs; got != s.Runs+1 {
@@ -161,7 +162,7 @@ func TestRunnerStatsAccounting(t *testing.T) {
 	r := core.NewRunner(4)
 	opts := core.RunOptions{SkipVerify: true}
 	e := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 8}
-	if _, err := r.RunAll([]core.Experiment{e, e, e, e}, opts); err != nil {
+	if _, err := r.RunAll(context.Background(), []core.Experiment{e, e, e, e}, opts); err != nil {
 		t.Fatal(err)
 	}
 	s := r.Snapshot()
@@ -233,17 +234,17 @@ func TestShardedSweepThenResume(t *testing.T) {
 	}
 
 	// "Process" 0 runs its shard and crashes before shard 1 ever runs.
-	if _, err := diskRunner(t, dir, 0).RunAll(shard0, opts); err != nil {
+	if _, err := diskRunner(t, dir, 0).RunAll(context.Background(), shard0, opts); err != nil {
 		t.Fatal(err)
 	}
 
 	// Resume planning: a fresh runner reports exactly shard 1 missing.
 	resumed := diskRunner(t, dir, 0)
-	missing := resumed.Missing(grid, opts)
+	missing := resumed.Missing(context.Background(), grid, opts)
 	if !reflect.DeepEqual(missing, shard1) {
 		t.Errorf("Missing after partial sweep = %v, want %v", missing, shard1)
 	}
-	if _, err := resumed.RunAll(grid, opts); err != nil {
+	if _, err := resumed.RunAll(context.Background(), grid, opts); err != nil {
 		t.Fatal(err)
 	}
 	if s := resumed.Snapshot(); int(s.Runs) != len(shard1) {
@@ -252,10 +253,10 @@ func TestShardedSweepThenResume(t *testing.T) {
 
 	// Final render pass: everything stored, nothing missing or computed.
 	final := diskRunner(t, dir, 0)
-	if missing := final.Missing(grid, opts); len(missing) != 0 {
+	if missing := final.Missing(context.Background(), grid, opts); len(missing) != 0 {
 		t.Errorf("complete store still reports %d missing cells", len(missing))
 	}
-	if _, err := final.RunAll(grid, opts); err != nil {
+	if _, err := final.RunAll(context.Background(), grid, opts); err != nil {
 		t.Fatal(err)
 	}
 	if s := final.Snapshot(); s.Runs != 0 || int(s.StoreHits) != len(grid) {
@@ -269,23 +270,23 @@ func TestWarmPreloads(t *testing.T) {
 	opts := core.RunOptions{SkipVerify: true}
 	exps := core.Figure11Experiments([]int{8, 16})
 	dir := t.TempDir()
-	if _, err := diskRunner(t, dir, 0).RunAll(exps, opts); err != nil {
+	if _, err := diskRunner(t, dir, 0).RunAll(context.Background(), exps, opts); err != nil {
 		t.Fatal(err)
 	}
 
 	r := diskRunner(t, dir, 0)
-	if warmed := r.Warm(exps, opts); warmed != len(exps) {
+	if warmed := r.Warm(context.Background(), exps, opts); warmed != len(exps) {
 		t.Errorf("Warm = %d, want %d", warmed, len(exps))
 	}
 	if got := r.CacheSize(); got != len(exps) {
 		t.Errorf("CacheSize after Warm = %d, want %d", got, len(exps))
 	}
 	// Warming again is a no-op.
-	if warmed := r.Warm(exps, opts); warmed != 0 {
+	if warmed := r.Warm(context.Background(), exps, opts); warmed != 0 {
 		t.Errorf("second Warm = %d, want 0", warmed)
 	}
 	before := r.Snapshot()
-	if _, err := r.RunAll(exps, opts); err != nil {
+	if _, err := r.RunAll(context.Background(), exps, opts); err != nil {
 		t.Fatal(err)
 	}
 	after := r.Snapshot()
@@ -324,7 +325,7 @@ func TestRunnerToleratesStoreFailures(t *testing.T) {
 	r := core.NewRunnerWith(core.RunnerOptions{Store: fs})
 	opts := core.RunOptions{SkipVerify: true}
 	exps := core.Figure11Experiments([]int{8})
-	results, err := r.RunAll(exps, opts)
+	results, err := r.RunAll(context.Background(), exps, opts)
 	if err != nil {
 		t.Fatalf("sweep must survive a failing store: %v", err)
 	}
@@ -348,7 +349,7 @@ func TestRunnerToleratesStoreFailures(t *testing.T) {
 func TestStoreBackedDeterminismUnderConcurrency(t *testing.T) {
 	opts := core.RunOptions{SkipVerify: true}
 	exps := fullSweep()
-	serial, err := core.NewRunner(1).RunAll(exps, opts)
+	serial, err := core.NewRunner(1).RunAll(context.Background(), exps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestStoreBackedDeterminismUnderConcurrency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stored, err := core.NewRunnerWith(core.RunnerOptions{Workers: 8, Store: st}).RunAll(exps, opts)
+	stored, err := core.NewRunnerWith(core.RunnerOptions{Workers: 8, Store: st}).RunAll(context.Background(), exps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +367,7 @@ func TestStoreBackedDeterminismUnderConcurrency(t *testing.T) {
 		}
 	}
 	// And a second store-backed pass (all loads) matches too.
-	reloaded, err := core.NewRunnerWith(core.RunnerOptions{Workers: 8, Store: st}).RunAll(exps, opts)
+	reloaded, err := core.NewRunnerWith(core.RunnerOptions{Workers: 8, Store: st}).RunAll(context.Background(), exps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

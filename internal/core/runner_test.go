@@ -1,10 +1,12 @@
 package core_test
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"configwall/internal/core"
 )
@@ -33,11 +35,11 @@ func fullSweep() []core.Experiment {
 // for cell, in input order.
 func TestRunnerDeterminism(t *testing.T) {
 	exps := fullSweep()
-	serial, err := core.NewRunner(1).RunAll(exps, core.RunOptions{})
+	serial, err := core.NewRunner(1).RunAll(context.Background(), exps, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := core.NewRunner(8).RunAll(exps, core.RunOptions{})
+	parallel, err := core.NewRunner(8).RunAll(context.Background(), exps, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +61,11 @@ func TestFigureRenderingDeterminism(t *testing.T) {
 	sizes := []int{16, 32}
 	opts := core.RunOptions{SkipVerify: true}
 
-	r10s, err := core.Figure10With(core.NewRunner(1), sizes, opts)
+	r10s, err := core.Figure10With(context.Background(), core.NewRunner(1), sizes, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r10p, err := core.Figure10With(core.NewRunner(8), sizes, opts)
+	r10p, err := core.Figure10With(context.Background(), core.NewRunner(8), sizes, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +73,11 @@ func TestFigureRenderingDeterminism(t *testing.T) {
 		t.Errorf("Figure 10 differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
 	}
 
-	r11s, err := core.Figure11With(core.NewRunner(1), sizes, opts)
+	r11s, err := core.Figure11With(context.Background(), core.NewRunner(1), sizes, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r11p, err := core.Figure11With(core.NewRunner(8), sizes, opts)
+	r11p, err := core.Figure11With(context.Background(), core.NewRunner(8), sizes, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +85,11 @@ func TestFigureRenderingDeterminism(t *testing.T) {
 		t.Errorf("Figure 11 differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
 	}
 
-	d12s, err := core.Figure12With(core.NewRunner(1), sizes, opts)
+	d12s, err := core.Figure12With(context.Background(), core.NewRunner(1), sizes, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d12p, err := core.Figure12With(core.NewRunner(8), sizes, opts)
+	d12p, err := core.Figure12With(context.Background(), core.NewRunner(8), sizes, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,11 +104,11 @@ func TestFigureRenderingDeterminism(t *testing.T) {
 func TestRunnerCacheReuse(t *testing.T) {
 	r := core.NewRunner(2)
 	e := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.AllOptimizations, N: 16}
-	first, err := r.Run(e, core.RunOptions{})
+	first, err := r.Run(context.Background(), e, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := r.Run(e, core.RunOptions{})
+	second, err := r.Run(context.Background(), e, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +119,7 @@ func TestRunnerCacheReuse(t *testing.T) {
 		t.Errorf("cache size = %d, want 1", got)
 	}
 	// Different options key different cells.
-	if _, err := r.Run(e, core.RunOptions{SkipVerify: true}); err != nil {
+	if _, err := r.Run(context.Background(), e, core.RunOptions{SkipVerify: true}); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.CacheSize(); got != 2 {
@@ -130,7 +132,7 @@ func TestRunnerCacheReuse(t *testing.T) {
 func TestRunnerDuplicateCellsInSweep(t *testing.T) {
 	e := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 8}
 	r := core.NewRunner(4)
-	results, err := r.RunAll([]core.Experiment{e, e, e, e}, core.RunOptions{})
+	results, err := r.RunAll(context.Background(), []core.Experiment{e, e, e, e}, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +155,7 @@ func TestRunAllFirstErrorDeterministic(t *testing.T) {
 		{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 12}, // invalid: not a multiple of 8
 	}
 	for trial := 0; trial < 3; trial++ {
-		_, err := core.NewRunner(8).RunAll(exps, core.RunOptions{})
+		_, err := core.NewRunner(8).RunAll(context.Background(), exps, core.RunOptions{})
 		if err == nil {
 			t.Fatal("expected error from invalid sizes")
 		}
@@ -206,7 +208,7 @@ func TestParallelEach(t *testing.T) {
 	for _, workers := range []int{-1, 0, 1, 3, 64} {
 		const n = 100
 		var visits [n]int32
-		core.ParallelEach(n, workers, func(i int) {
+		core.ParallelEach(context.Background(), n, workers, func(i int) {
 			atomic.AddInt32(&visits[i], 1)
 		})
 		for i, v := range visits {
@@ -216,6 +218,137 @@ func TestParallelEach(t *testing.T) {
 		}
 	}
 	// n <= 0 must not call fn or hang.
-	core.ParallelEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
-	core.ParallelEach(-3, 4, func(int) { t.Fatal("fn called for n<0") })
+	core.ParallelEach(context.Background(), 0, 4, func(int) { t.Fatal("fn called for n=0") })
+	core.ParallelEach(context.Background(), -3, 4, func(int) { t.Fatal("fn called for n<0") })
+}
+
+// TestRunCancelledContext asserts a request whose context is already
+// cancelled never computes (or claims a cell another request would then
+// find poisoned).
+func TestRunCancelledContext(t *testing.T) {
+	r := core.NewRunner(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 8}
+	if _, err := r.Run(ctx, e, core.RunOptions{}); err == nil {
+		t.Fatal("Run with a cancelled context must fail")
+	}
+	if s := r.Snapshot(); s.Runs != 0 {
+		t.Errorf("cancelled request ran %d simulations, want 0", s.Runs)
+	}
+	// The cell must still be computable by a live request.
+	if _, err := r.Run(context.Background(), e, core.RunOptions{}); err != nil {
+		t.Fatalf("cell poisoned by the cancelled request: %v", err)
+	}
+}
+
+// blockingStore parks every Load until released, making "cell claimed and
+// in flight" an observable, controllable state for cancellation tests.
+type blockingStore struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *blockingStore) Load(core.Experiment, core.RunOptions) (core.Result, bool, error) {
+	s.entered <- struct{}{}
+	<-s.release
+	return core.Result{}, false, nil
+}
+
+func (s *blockingStore) Save(core.Experiment, core.RunOptions, core.Result) error { return nil }
+
+// TestRunWaiterCancellation: a waiter on an in-flight cell detaches when
+// its context cancels, while the computation completes and serves later
+// requests from cache.
+func TestRunWaiterCancellation(t *testing.T) {
+	st := &blockingStore{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	r := core.NewRunnerWith(core.RunnerOptions{Workers: 4, Store: st})
+	e := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 8}
+
+	winnerDone := make(chan error, 1)
+	go func() {
+		_, err := r.Run(context.Background(), e, core.RunOptions{})
+		winnerDone <- err
+	}()
+	<-st.entered // the winner has claimed the cell and is inside compute
+
+	// The cell is provably in flight and blocked; the waiter must give up
+	// at its deadline rather than ride out the computation.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := r.Run(ctx, e, core.RunOptions{}); err == nil {
+		t.Error("waiter returned success while the cell was still in flight")
+	}
+
+	close(st.release)
+	if err := <-winnerDone; err != nil {
+		t.Fatalf("winner: %v", err)
+	}
+	if _, err := r.Run(context.Background(), e, core.RunOptions{}); err != nil {
+		t.Fatalf("post-completion request: %v", err)
+	}
+	if s := r.Snapshot(); s.Runs != 1 {
+		t.Errorf("Runs = %d, want 1 (waiter cancellation must not duplicate work)", s.Runs)
+	}
+}
+
+// TestPreload publishes a synthetic result into the cell map and asserts
+// later requests are served from it without computing.
+func TestPreload(t *testing.T) {
+	r := core.NewRunner(2)
+	e := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 8}
+	opts := core.RunOptions{}
+	synthetic := core.Result{Target: e.Target, Workload: e.Workload, N: e.N}
+	if !r.Preload(e, opts, synthetic) {
+		t.Fatal("Preload of an empty runner must claim the cell")
+	}
+	if r.Preload(e, opts, core.Result{}) {
+		t.Error("second Preload of the same cell must report false")
+	}
+	got, err := r.Run(context.Background(), e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, synthetic) {
+		t.Error("Run did not serve the preloaded result")
+	}
+	if s := r.Snapshot(); s.Runs != 0 {
+		t.Errorf("preloaded cell still ran %d simulations", s.Runs)
+	}
+}
+
+// TestParallelEachCancellation asserts a pre-cancelled context dispatches
+// nothing and a mid-run cancellation stops dispatch early.
+func TestParallelEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := core.ParallelEach(ctx, 100, 4, func(int) { t.Error("fn called under a pre-cancelled context") }); err == nil {
+		t.Error("ParallelEach must report the context error")
+	}
+
+	var ran atomic.Int64
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	err := core.ParallelEach(ctx2, 1000, 1, func(i int) {
+		if i == 0 {
+			cancel2()
+		}
+		ran.Add(1)
+	})
+	if err == nil {
+		t.Error("mid-run cancellation must surface the context error")
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("cancellation did not stop dispatch (all 1000 indices ran)")
+	}
+
+	// RunAll under a cancelled context returns the context error.
+	r := core.NewRunner(2)
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if _, err := r.RunAll(cctx, fullSweep(), core.RunOptions{}); err == nil {
+		t.Error("RunAll with a cancelled context must fail")
+	}
+	if s := r.Snapshot(); s.Runs != 0 {
+		t.Errorf("cancelled RunAll still ran %d simulations", s.Runs)
+	}
 }

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Admission errors, mapped to 429 by the HTTP layer. They are the
+// backpressure contract: a server under load sheds distinct-cell work
+// deterministically instead of growing an unbounded goroutine backlog.
+var (
+	// ErrQueueFull means the bounded admission queue had no room — the
+	// request was rejected immediately.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrQueueTimeout means the request queued but no execution slot
+	// freed up within the queue timeout.
+	ErrQueueTimeout = errors.New("serve: queue wait timed out")
+)
+
+// admission bounds how much experiment computation the server attempts at
+// once: at most `concurrency` computations execute, at most `depth` more
+// wait for a slot (each with a timeout), and everything beyond that is
+// rejected outright. Coalesced duplicates never enter admission (see
+// flightGroup), so the bound is on *distinct* in-flight cells.
+type admission struct {
+	slots   chan struct{} // capacity = concurrency; holding a token = executing
+	tickets chan struct{} // capacity = concurrency + depth; bounds waiters
+	timeout time.Duration
+}
+
+func newAdmission(concurrency, depth int, timeout time.Duration) *admission {
+	return &admission{
+		slots:   make(chan struct{}, concurrency),
+		tickets: make(chan struct{}, concurrency+depth),
+		timeout: timeout,
+	}
+}
+
+// acquire claims an execution slot with request semantics: it rejects with
+// ErrQueueFull when the queue is at capacity, waits at most the queue
+// timeout for a slot (ErrQueueTimeout), and aborts if ctx is cancelled.
+// On success the returned release must be called exactly once.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.tickets <- struct{}{}:
+	default:
+		return nil, ErrQueueFull
+	}
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots; <-a.tickets }, nil
+	case <-timer.C:
+		<-a.tickets
+		return nil, ErrQueueTimeout
+	case <-ctx.Done():
+		<-a.tickets
+		return nil, ctx.Err()
+	}
+}
+
+// acquireWait claims an execution slot with batch semantics: it bypasses
+// the queue bound and waits indefinitely (until ctx cancels). Sweep cells
+// use it — a batch applies backpressure by trickling results out as slots
+// free up, not by rejecting its own cells.
+func (a *admission) acquireWait(ctx context.Context) (release func(), err error) {
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// busy returns how many execution slots are held.
+func (a *admission) busy() int { return len(a.slots) }
+
+// queued returns how many request-mode acquisitions are in the system
+// (executing or waiting).
+func (a *admission) queued() int { return len(a.tickets) }

@@ -1,0 +1,58 @@
+package serve_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"configwall/internal/core"
+	"configwall/internal/serve"
+)
+
+// newBenchServer prewarms one cell so the benchmark measures pure serving
+// overhead (HTTP + coalescing + admission + marshal) on cache hits — the
+// steady-state path a search client hammers.
+func newBenchServer(b *testing.B) (*serve.Client, func()) {
+	b.Helper()
+	runner := core.NewRunner(0)
+	sv, err := serve.New(serve.Options{Runner: runner})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(sv)
+	c := serve.NewClient(ts.URL)
+	if _, err := c.RunRaw(context.Background(), testExp, core.RunOptions{}); err != nil {
+		ts.Close()
+		b.Fatal(err)
+	}
+	return c, func() { ts.Close(); sv.Close() }
+}
+
+// BenchmarkServe_CachedRun measures sequential hot-cell request latency.
+func BenchmarkServe_CachedRun(b *testing.B) {
+	c, stop := newBenchServer(b)
+	defer stop()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunRaw(ctx, testExp, core.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServe_CachedRunParallel measures hot-cell throughput with
+// concurrent keep-alive clients, the serving benchmark's headline number.
+func BenchmarkServe_CachedRunParallel(b *testing.B) {
+	c, stop := newBenchServer(b)
+	defer stop()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		for pb.Next() {
+			if _, err := c.RunRaw(ctx, testExp, core.RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"configwall/internal/core"
+)
+
+// Client is a Go client for a cwserve daemon. The zero HTTPClient uses a
+// pooled transport sized for load generation (many concurrent keep-alive
+// connections to one host).
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTPClient overrides the underlying HTTP client.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 256
+	return &Client{Base: strings.TrimRight(base, "/"), HTTPClient: &http.Client{Transport: t}}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// StatusError is a non-2xx server response; callers can branch on Code
+// (backpressure is 429) and read the server's explanation in Body.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+// runURL encodes one experiment request as /v1/run query parameters.
+func (c *Client) runURL(e core.Experiment, opts core.RunOptions) string {
+	q := url.Values{}
+	q.Set("target", e.Target)
+	q.Set("workload", e.Workload)
+	q.Set("pipeline", e.Pipeline.String())
+	q.Set("n", strconv.Itoa(e.N))
+	q.Set("engine", opts.Engine.String())
+	if opts.RecordTrace {
+		q.Set("trace", "true")
+	}
+	if opts.SkipVerify {
+		q.Set("skipverify", "true")
+	}
+	return c.Base + "/v1/run?" + q.Encode()
+}
+
+// RunRaw executes one experiment and returns the raw response body — the
+// exact bytes json.Marshal(core.Result) produced on the server, for
+// byte-identity checks against direct Runner results.
+func (c *Client) RunRaw(ctx context.Context, e core.Experiment, opts core.RunOptions) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.runURL(e, opts), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(body)}
+	}
+	return body, nil
+}
+
+// Run executes one experiment on the server and decodes the result.
+func (c *Client) Run(ctx context.Context, e core.Experiment, opts core.RunOptions) (core.Result, error) {
+	body, err := c.RunRaw(ctx, e, opts)
+	if err != nil {
+		return core.Result{}, err
+	}
+	var res core.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		return core.Result{}, fmt.Errorf("decoding result: %w", err)
+	}
+	return res, nil
+}
+
+// SweepSummary is the final event of a streamed sweep.
+type SweepSummary struct {
+	Cells  int
+	Failed int
+}
+
+// Sweep streams the sweep, invoking fn for every cell event in completion
+// order; a non-nil fn error aborts the stream. It returns the server's
+// final summary.
+func (c *Client) Sweep(ctx context.Context, rq SweepRequest, fn func(SweepEvent) error) (SweepSummary, error) {
+	body, err := json.Marshal(rq)
+	if err != nil {
+		return SweepSummary{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return SweepSummary{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return SweepSummary{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return SweepSummary{}, &StatusError{Code: resp.StatusCode, Body: string(msg)}
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // traces can make lines large
+	var summary SweepSummary
+	sawSummary := false
+	for sc.Scan() {
+		var ev SweepEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return summary, fmt.Errorf("decoding sweep event: %w", err)
+		}
+		if ev.Done {
+			summary = SweepSummary{Cells: ev.Cells, Failed: ev.Failed}
+			sawSummary = true
+			continue
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return summary, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return summary, err
+	}
+	if !sawSummary {
+		return summary, fmt.Errorf("sweep stream ended without a summary event")
+	}
+	return summary, nil
+}
+
+// Healthz checks the health endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	_, err := c.getText(ctx, "/healthz")
+	return err
+}
+
+// Metrics fetches the raw metrics exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	return c.getText(ctx, "/metrics")
+}
+
+// Registry fetches the server's registered targets, workloads, pipelines
+// and engines.
+func (c *Client) Registry(ctx context.Context) (RegistryInfo, error) {
+	var info RegistryInfo
+	body, err := c.getText(ctx, "/v1/registry")
+	if err != nil {
+		return info, err
+	}
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		return info, fmt.Errorf("decoding registry: %w", err)
+	}
+	return info, nil
+}
+
+func (c *Client) getText(ctx context.Context, path string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &StatusError{Code: resp.StatusCode, Body: string(body)}
+	}
+	return string(body), nil
+}

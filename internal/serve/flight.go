@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"configwall/internal/core"
+)
+
+// flightGroup is the serving layer's singleflight: concurrent requests for
+// the same fingerprint key attach to one in-flight computation instead of
+// each entering the admission queue. It is layered on the runner's cell
+// map — the runner already guarantees one simulation per cell — but the
+// flight group additionally guarantees one *admission slot* per distinct
+// in-flight cell, so 64 identical requests against a 4-slot server neither
+// occupy 4 slots with waiters nor trip queue-full rejections.
+type flightGroup struct {
+	base context.Context // ancestor of every leader context (server lifetime)
+
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight computation; done is closed once res/err are
+// published. waiters counts the requests currently attached: when the
+// last one detaches before completion, the leader's context is cancelled
+// so work nobody wants stops consuming queue positions and workers.
+type flightCall struct {
+	done   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	res    core.Result
+	err    error
+
+	waiters int // guarded by flightGroup.mu
+}
+
+func newFlightGroup(base context.Context) *flightGroup {
+	return &flightGroup{base: base, m: map[string]*flightCall{}}
+}
+
+// start registers and launches a fresh call for key (caller holds g.mu).
+func (g *flightGroup) start(key string, fn func(context.Context) (core.Result, error)) *flightCall {
+	runCtx, cancel := context.WithCancel(g.base)
+	c := &flightCall{done: make(chan struct{}), ctx: runCtx, cancel: cancel}
+	g.m[key] = c
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("serve: panic computing %s: %v", key, r)
+			}
+			g.mu.Lock()
+			// A cancelled-then-orphaned call may have been replaced by a
+			// fresh one; only remove the mapping if it is still ours.
+			if g.m[key] == c {
+				delete(g.m, key)
+			}
+			g.mu.Unlock()
+			cancel()
+			close(c.done)
+		}()
+		c.res, c.err = fn(runCtx)
+	}()
+	return c
+}
+
+// do returns the result of fn for key, starting fn in its own goroutine if
+// no live call for key is in flight and attaching to the existing call
+// otherwise. coalesced reports whether the request attached to a call it
+// did not start.
+//
+// fn receives the leader context: a child of the server's base context
+// that is additionally cancelled when every attached request has gone
+// away, so an abandoned computation stops waiting for admission (a cell
+// already claimed in the runner still completes and lands in the cache —
+// cancellation governs waiting, not computing). Attach, detach and
+// orphan-cancellation all happen under one lock, so a request can never
+// join a call that is about to be cancelled: a cancelled, unfinished call
+// is replaced by a fresh one instead. A panic inside fn is contained as
+// an error on this call; one poisoned cell must never take down the
+// daemon.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (core.Result, error)) (res core.Result, err error, coalesced bool) {
+	g.mu.Lock()
+	c, ok := g.m[key]
+	if ok && c.ctx.Err() != nil {
+		// The previous call was orphan-cancelled but has not finished its
+		// cleanup yet; it would only publish a context error. Start a
+		// fresh call over it (its deferred delete is conditional).
+		ok = false
+	}
+	if !ok {
+		c = g.start(key, fn)
+	}
+	c.waiters++
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			select {
+			case <-c.done:
+			default:
+				// Cancel under the lock: attaches also run under it, so
+				// nobody can join between the decision and the cancel.
+				c.cancel()
+			}
+		}
+		g.mu.Unlock()
+	}()
+
+	select {
+	case <-c.done:
+		return c.res, c.err, ok
+	case <-ctx.Done():
+		return core.Result{}, ctx.Err(), ok
+	}
+}
+
+// inflight returns the number of distinct keys currently being computed.
+func (g *flightGroup) inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (plus an
+// implicit +Inf). Log-spaced from 0.5ms to 10s: cached cells land in the
+// sub-millisecond buckets, cold compiles+simulations in the tail.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// hist is one cumulative latency histogram; buckets has one slot per
+// upper bound plus the +Inf overflow.
+type hist struct {
+	buckets []uint64
+	sum     float64
+	count   uint64
+}
+
+func newHist() *hist {
+	return &hist{buckets: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *hist) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, s)
+	h.buckets[i]++
+	h.sum += s
+	h.count++
+}
+
+// metrics aggregates the serving counters behind /metrics. All methods are
+// safe for concurrent use.
+type metrics struct {
+	mu        sync.Mutex
+	requests  map[string]map[int]uint64 // endpoint -> status code -> count
+	latency   map[string]*hist          // endpoint -> latency histogram
+	coalesced uint64
+	rejected  map[string]uint64 // reason -> count
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[string]map[int]uint64{},
+		latency:  map[string]*hist{},
+		rejected: map[string]uint64{},
+	}
+}
+
+func (m *metrics) observe(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	codes, ok := m.requests[endpoint]
+	if !ok {
+		codes = map[int]uint64{}
+		m.requests[endpoint] = codes
+	}
+	codes[code]++
+	h, ok := m.latency[endpoint]
+	if !ok {
+		h = newHist()
+		m.latency[endpoint] = h
+	}
+	h.observe(d)
+}
+
+func (m *metrics) coalesce()            { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+func (m *metrics) reject(reason string) { m.mu.Lock(); m.rejected[reason]++; m.mu.Unlock() }
+
+// gauges are point-in-time readings the server snapshots at render time.
+type gauges struct {
+	queueDepth int
+	slotsBusy  int
+	inflight   int
+	cacheCells int
+}
+
+// render emits the Prometheus text exposition format. Series are sorted so
+// consecutive scrapes of an idle server are byte-identical.
+func (m *metrics) render(sb *strings.Builder, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(sb, "# HELP cwserve_requests_total Requests served, by endpoint and status code.\n")
+	fmt.Fprintf(sb, "# TYPE cwserve_requests_total counter\n")
+	for _, ep := range sortedKeys(m.requests) {
+		codes := m.requests[ep]
+		sorted := make([]int, 0, len(codes))
+		for c := range codes {
+			sorted = append(sorted, c)
+		}
+		sort.Ints(sorted)
+		for _, c := range sorted {
+			fmt.Fprintf(sb, "cwserve_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, codes[c])
+		}
+	}
+
+	fmt.Fprintf(sb, "# HELP cwserve_coalesced_total Requests served by attaching to an in-flight identical computation.\n")
+	fmt.Fprintf(sb, "# TYPE cwserve_coalesced_total counter\n")
+	fmt.Fprintf(sb, "cwserve_coalesced_total %d\n", m.coalesced)
+
+	fmt.Fprintf(sb, "# HELP cwserve_rejected_total Requests shed by admission control, by reason.\n")
+	fmt.Fprintf(sb, "# TYPE cwserve_rejected_total counter\n")
+	for _, r := range sortedKeys(m.rejected) {
+		fmt.Fprintf(sb, "cwserve_rejected_total{reason=%q} %d\n", r, m.rejected[r])
+	}
+
+	fmt.Fprintf(sb, "# HELP cwserve_queue_depth Request-mode admissions in the system (executing or waiting).\n")
+	fmt.Fprintf(sb, "# TYPE cwserve_queue_depth gauge\n")
+	fmt.Fprintf(sb, "cwserve_queue_depth %d\n", g.queueDepth)
+	fmt.Fprintf(sb, "# HELP cwserve_slots_busy Execution slots currently held.\n")
+	fmt.Fprintf(sb, "# TYPE cwserve_slots_busy gauge\n")
+	fmt.Fprintf(sb, "cwserve_slots_busy %d\n", g.slotsBusy)
+	fmt.Fprintf(sb, "# HELP cwserve_inflight_cells Distinct experiment cells currently computing.\n")
+	fmt.Fprintf(sb, "# TYPE cwserve_inflight_cells gauge\n")
+	fmt.Fprintf(sb, "cwserve_inflight_cells %d\n", g.inflight)
+	fmt.Fprintf(sb, "# HELP cwserve_cache_cells In-memory memoized experiment cells.\n")
+	fmt.Fprintf(sb, "# TYPE cwserve_cache_cells gauge\n")
+	fmt.Fprintf(sb, "cwserve_cache_cells %d\n", g.cacheCells)
+
+	if len(m.latency) > 0 {
+		// One HELP/TYPE pair per metric name: the exposition format
+		// forbids repeating them per label set.
+		fmt.Fprintf(sb, "# HELP cwserve_latency_seconds Request latency, by endpoint.\n")
+		fmt.Fprintf(sb, "# TYPE cwserve_latency_seconds histogram\n")
+	}
+	for _, ep := range sortedKeys(m.latency) {
+		h := m.latency[ep]
+		cum := uint64(0)
+		for i, le := range latencyBuckets {
+			cum += h.buckets[i]
+			fmt.Fprintf(sb, "cwserve_latency_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, le, cum)
+		}
+		cum += h.buckets[len(latencyBuckets)]
+		fmt.Fprintf(sb, "cwserve_latency_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(sb, "cwserve_latency_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(sb, "cwserve_latency_seconds_count{endpoint=%q} %d\n", ep, h.count)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,669 @@
+// Package serve exposes the memoized experiment runner and its persistent
+// store over HTTP, turning the reproduction into a long-lived
+// experiment-measurement service: configuration-search clients
+// (autotuners, dashboards, sweep drivers) hammer the same measurement
+// cache with heavily overlapping queries, and the server answers them
+// with exactly one simulation per distinct cell.
+//
+// The layering (DESIGN.md §7):
+//
+//	HTTP handlers → flightGroup (coalesce identical in-flight requests)
+//	             → admission (bounded concurrency + queue, 429 backpressure)
+//	             → core.Runner (memoization, worker pool, persistent store)
+//
+// Endpoints:
+//
+//	GET/POST /v1/run    one experiment cell; the response body is
+//	                    byte-identical to json.Marshal of a direct
+//	                    Runner.Run result
+//	POST     /v1/sweep  a (targets × workloads × pipelines × sizes) grid;
+//	                    streams NDJSON events as cells complete, or
+//	                    returns a JSON array with "stream": false
+//	GET      /v1/registry  registered targets/workloads/pipelines/engines
+//	GET      /metrics   Prometheus text: cache counters, queue gauges,
+//	                    latency histograms
+//	GET      /healthz   200 ok, 503 once draining
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"configwall/internal/core"
+	"configwall/internal/sim"
+	"configwall/internal/store"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Runner executes and memoizes the experiments. Required.
+	Runner *core.Runner
+	// Concurrency bounds how many distinct experiment cells compute at
+	// once; <= 0 selects the runner's worker bound.
+	Concurrency int
+	// QueueDepth bounds how many distinct-cell requests may wait for an
+	// execution slot beyond Concurrency; 0 selects the default (64), < 0
+	// disables queuing (immediate rejection when all slots are busy).
+	QueueDepth int
+	// QueueTimeout bounds how long a queued request waits for a slot
+	// before a 429; <= 0 selects the default (30s).
+	QueueTimeout time.Duration
+	// MaxSweepCells caps the grid size one /v1/sweep request may expand
+	// to; <= 0 selects the default (4096).
+	MaxSweepCells int
+	// MaxN caps the sweep size n of any requested cell; <= 0 selects the
+	// default (1024). Simulation cost grows ~O(n^3) and a claimed cell
+	// always computes to completion, so without this cap a handful of
+	// huge-n requests could wedge every execution slot for hours.
+	MaxN int
+}
+
+const (
+	defaultQueueDepth    = 64
+	defaultQueueTimeout  = 30 * time.Second
+	defaultMaxSweepCells = 4096
+	defaultMaxN          = 1024
+)
+
+// Server is the experiment-serving daemon core: an http.Handler over a
+// core.Runner with request coalescing, admission control and live
+// metrics. Create one with New, mount it on an http.Server, and call
+// BeginDrain/Close around the listener's shutdown.
+type Server struct {
+	runner        *core.Runner
+	admit         *admission
+	flight        *flightGroup
+	met           *metrics
+	mux           *http.ServeMux
+	maxSweepCells int
+	maxN          int
+
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	draining atomic.Bool
+}
+
+// New builds a Server from opts.
+func New(opts Options) (*Server, error) {
+	if opts.Runner == nil {
+		return nil, fmt.Errorf("serve: Options.Runner is required")
+	}
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = opts.Runner.Workers()
+	}
+	depth := opts.QueueDepth
+	switch {
+	case depth == 0:
+		depth = defaultQueueDepth
+	case depth < 0:
+		depth = 0
+	}
+	timeout := opts.QueueTimeout
+	if timeout <= 0 {
+		timeout = defaultQueueTimeout
+	}
+	maxCells := opts.MaxSweepCells
+	if maxCells <= 0 {
+		maxCells = defaultMaxSweepCells
+	}
+	maxN := opts.MaxN
+	if maxN <= 0 {
+		maxN = defaultMaxN
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		runner:        opts.Runner,
+		admit:         newAdmission(conc, depth, timeout),
+		flight:        newFlightGroup(ctx),
+		met:           newMetrics(),
+		mux:           http.NewServeMux(),
+		maxSweepCells: maxCells,
+		maxN:          maxN,
+		baseCtx:       ctx,
+		cancel:        cancel,
+	}
+	s.mux.HandleFunc("/v1/run", s.instrument("run", s.handleRun))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/registry", s.instrument("registry", s.handleRegistry))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Runner returns the server's runner (for stats inspection).
+func (s *Server) Runner() *core.Runner { return s.runner }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// WarmFromStore enumerates every entry of the disk store and preloads it
+// into the runner's in-memory cell map, so a freshly booted server answers
+// everything a previous life measured without touching the simulator. It
+// returns how many cells it loaded. Cancelling ctx stops the scan early.
+func (s *Server) WarmFromStore(ctx context.Context, st *store.DiskStore) (int, error) {
+	warmed := 0
+	err := st.Each(func(e store.Entry) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if s.runner.Preload(e.Experiment, e.Options, e.Result) {
+			warmed++
+		}
+		return nil
+	})
+	return warmed, err
+}
+
+// BeginDrain flips the server into draining mode: /healthz turns 503 so
+// load balancers stop routing here, and new experiment requests are
+// rejected with 503 while requests already in flight finish normally.
+// Call it before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close cancels the server's base context, unblocking any computation
+// still queued for admission. Call it after http.Server.Shutdown returns.
+func (s *Server) Close() { s.cancel() }
+
+// instrument wraps a handler with drain rejection and request metrics.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "server is draining", http.StatusServiceUnavailable)
+			s.met.observe(endpoint, http.StatusServiceUnavailable, 0)
+			return
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.met.observe(endpoint, sw.code, time.Since(start))
+	}
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (NDJSON sweeps) to the underlying
+// writer.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// RunRequest is the JSON body of POST /v1/run; GET passes the same fields
+// as query parameters (target, workload, pipeline, n, engine, trace,
+// skipverify).
+type RunRequest struct {
+	Target      string `json:"target"`
+	Workload    string `json:"workload"`
+	Pipeline    string `json:"pipeline"`
+	N           int    `json:"n"`
+	Engine      string `json:"engine,omitempty"`
+	RecordTrace bool   `json:"record_trace,omitempty"`
+	SkipVerify  bool   `json:"skip_verify,omitempty"`
+}
+
+// resolve validates the request against the registry and returns the
+// experiment cell and run options it names. Error messages list the valid
+// names so misconfigured clients fail fast and self-documentingly.
+func (rq RunRequest) resolve(maxN int) (core.Experiment, core.RunOptions, error) {
+	var e core.Experiment
+	var opts core.RunOptions
+	if rq.Target == "" {
+		return e, opts, fmt.Errorf("missing target (registered: %s)", strings.Join(core.TargetNames(), ", "))
+	}
+	if _, err := core.LookupTarget(rq.Target); err != nil {
+		return e, opts, err
+	}
+	if rq.Workload == "" {
+		return e, opts, fmt.Errorf("missing workload (registered: %s)", strings.Join(core.WorkloadNames(), ", "))
+	}
+	if _, err := core.LookupWorkload(rq.Workload); err != nil {
+		return e, opts, err
+	}
+	p, err := core.PipelineByName(rq.Pipeline)
+	if err != nil {
+		return e, opts, err
+	}
+	if rq.N < 1 {
+		return e, opts, fmt.Errorf("bad n %d: want a positive sweep size", rq.N)
+	}
+	if rq.N > maxN {
+		return e, opts, fmt.Errorf("n %d is above the server cap of %d", rq.N, maxN)
+	}
+	eng := sim.EngineRef
+	if rq.Engine != "" {
+		if eng, err = sim.EngineByName(rq.Engine); err != nil {
+			return e, opts, err
+		}
+	}
+	e = core.Experiment{Target: rq.Target, Workload: rq.Workload, Pipeline: p, N: rq.N}
+	opts = core.RunOptions{RecordTrace: rq.RecordTrace, SkipVerify: rq.SkipVerify, Engine: eng}
+	return e, opts, nil
+}
+
+// parseRunRequest decodes GET query parameters or a POST JSON body.
+func parseRunRequest(r *http.Request) (RunRequest, error) {
+	var rq RunRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		rq.Target = q.Get("target")
+		rq.Workload = q.Get("workload")
+		rq.Pipeline = q.Get("pipeline")
+		rq.Engine = q.Get("engine")
+		var err error
+		if nv := q.Get("n"); nv != "" {
+			if rq.N, err = strconv.Atoi(nv); err != nil {
+				return rq, fmt.Errorf("bad n %q: %v", nv, err)
+			}
+		}
+		if rq.RecordTrace, err = boolParam(q.Get("trace")); err != nil {
+			return rq, fmt.Errorf("bad trace: %v", err)
+		}
+		if rq.SkipVerify, err = boolParam(q.Get("skipverify")); err != nil {
+			return rq, fmt.Errorf("bad skipverify: %v", err)
+		}
+	case http.MethodPost:
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rq); err != nil {
+			return rq, fmt.Errorf("bad JSON body: %v", err)
+		}
+	default:
+		return rq, errMethod
+	}
+	return rq, nil
+}
+
+var errMethod = errors.New("method not allowed")
+
+func boolParam(v string) (bool, error) {
+	if v == "" {
+		return false, nil
+	}
+	return strconv.ParseBool(v)
+}
+
+// execute runs one validated cell through the full serving stack:
+// coalescing, then admission, then the memoized runner. wait selects
+// batch admission semantics (sweep cells block for slots instead of
+// 429ing). reqCtx governs only this caller's wait: the computation runs
+// on the flight leader's context, which outlives any single request and
+// cancels only when the server closes or every attached request has gone
+// away — so a cell wanted by anyone keeps going, and a cell wanted by
+// no one stops consuming queue positions and workers.
+func (s *Server) execute(reqCtx context.Context, e core.Experiment, opts core.RunOptions, wait bool) (core.Result, error, bool) {
+	key := core.FingerprintKey(e, opts)
+	wasCoalesced := false
+	for {
+		res, err, coalesced := s.flight.do(reqCtx, key, func(runCtx context.Context) (core.Result, error) {
+			var release func()
+			var aerr error
+			if wait {
+				release, aerr = s.admit.acquireWait(runCtx)
+			} else {
+				release, aerr = s.admit.acquire(runCtx)
+			}
+			if aerr != nil {
+				return core.Result{}, aerr
+			}
+			defer release()
+			return s.runner.Run(runCtx, e, opts)
+		})
+		if coalesced && !wasCoalesced {
+			wasCoalesced = true
+			s.met.coalesce()
+		}
+		// A batch cell may have attached to a request-mode leader that was
+		// shed by admission control; rejection is the request contract,
+		// not the batch one, so retry — the failed call is gone from the
+		// flight map and the retry starts (or joins) a waiting leader.
+		if wait && coalesced && (errors.Is(err, ErrQueueFull) || errors.Is(err, ErrQueueTimeout)) && reqCtx.Err() == nil {
+			continue
+		}
+		return res, err, wasCoalesced
+	}
+}
+
+// writeRunError maps an execution error onto an HTTP status.
+func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueTimeout):
+		reason := "queue_full"
+		if errors.Is(err, ErrQueueTimeout) {
+			reason = "queue_timeout"
+		}
+		s.met.reject(reason)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() != nil {
+			// The client went away; nobody is reading the response.
+			return
+		}
+		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	rq, err := parseRunRequest(r)
+	if errors.Is(err, errMethod) {
+		http.Error(w, err.Error(), http.StatusMethodNotAllowed)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	e, opts, err := rq.resolve(s.maxN)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err, _ := s.execute(r.Context(), e, opts, false)
+	if err != nil {
+		s.writeRunError(w, r, err)
+		return
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// The body is exactly json.Marshal(core.Result) — byte-identical to
+	// what a direct Runner.Run caller would serialize. Tests and the
+	// load generator rely on it.
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// SweepRequest is the JSON body of POST /v1/sweep: the cross product of
+// the listed names is validated against the registry and executed on the
+// worker pool.
+type SweepRequest struct {
+	Targets     []string `json:"targets"`
+	Workloads   []string `json:"workloads"`
+	Pipelines   []string `json:"pipelines"`
+	Sizes       []int    `json:"sizes"`
+	Engine      string   `json:"engine,omitempty"`
+	RecordTrace bool     `json:"record_trace,omitempty"`
+	SkipVerify  bool     `json:"skip_verify,omitempty"`
+	// Stream selects NDJSON event streaming (the default); set it to
+	// false for a single JSON array response in input order.
+	Stream *bool `json:"stream,omitempty"`
+}
+
+// SweepEvent is one NDJSON line of a streaming sweep: a completed cell
+// (Result set), a failed cell (Error set), or the final summary line
+// (Done true).
+type SweepEvent struct {
+	Index      *int             `json:"index,omitempty"`
+	Experiment *core.Experiment `json:"experiment,omitempty"`
+	Result     *core.Result     `json:"result,omitempty"`
+	Error      string           `json:"error,omitempty"`
+	Done       bool             `json:"done,omitempty"`
+	Cells      int              `json:"cells,omitempty"`
+	Failed     int              `json:"failed,omitempty"`
+}
+
+// resolve validates the request and expands it into the experiment grid.
+func (rq SweepRequest) resolve(maxCells, maxN int) ([]core.Experiment, core.RunOptions, error) {
+	var opts core.RunOptions
+	if len(rq.Targets) == 0 || len(rq.Workloads) == 0 || len(rq.Pipelines) == 0 || len(rq.Sizes) == 0 {
+		return nil, opts, fmt.Errorf("sweep needs targets, workloads, pipelines and sizes (registered targets: %s; workloads: %s)",
+			strings.Join(core.TargetNames(), ", "), strings.Join(core.WorkloadNames(), ", "))
+	}
+	for _, t := range rq.Targets {
+		if _, err := core.LookupTarget(t); err != nil {
+			return nil, opts, err
+		}
+	}
+	for _, w := range rq.Workloads {
+		if _, err := core.LookupWorkload(w); err != nil {
+			return nil, opts, err
+		}
+	}
+	pipes := make([]core.Pipeline, len(rq.Pipelines))
+	for i, pn := range rq.Pipelines {
+		p, err := core.PipelineByName(pn)
+		if err != nil {
+			return nil, opts, err
+		}
+		pipes[i] = p
+	}
+	for _, n := range rq.Sizes {
+		if n < 1 {
+			return nil, opts, fmt.Errorf("bad size %d: want a positive sweep size", n)
+		}
+		if n > maxN {
+			return nil, opts, fmt.Errorf("size %d is above the server cap of %d", n, maxN)
+		}
+	}
+	eng := sim.EngineRef
+	if rq.Engine != "" {
+		var err error
+		if eng, err = sim.EngineByName(rq.Engine); err != nil {
+			return nil, opts, err
+		}
+	}
+	exps := core.Sweep(rq.Targets, rq.Workloads, pipes, rq.Sizes)
+	if len(exps) > maxCells {
+		return nil, opts, fmt.Errorf("sweep expands to %d cells, above the server cap of %d", len(exps), maxCells)
+	}
+	opts = core.RunOptions{RecordTrace: rq.RecordTrace, SkipVerify: rq.SkipVerify, Engine: eng}
+	return exps, opts, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed (POST a SweepRequest JSON body)", http.StatusMethodNotAllowed)
+		return
+	}
+	var rq SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rq); err != nil {
+		http.Error(w, fmt.Sprintf("bad JSON body: %v", err), http.StatusBadRequest)
+		return
+	}
+	exps, opts, err := rq.resolve(s.maxSweepCells, s.maxN)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if rq.Stream == nil || *rq.Stream {
+		s.streamSweep(w, r, exps, opts)
+		return
+	}
+	s.arraySweep(w, r, exps, opts)
+}
+
+// cellOutcome is one finished sweep cell, sent from the workers to the
+// response writer.
+type cellOutcome struct {
+	index int
+	res   core.Result
+	err   error
+}
+
+// runSweep executes the grid on a bounded worker pool through the serving
+// stack (flight + batch admission + runner) and sends each outcome on the
+// returned channel as it completes. The channel is closed when the sweep
+// is done or the context cancels.
+func (s *Server) runSweep(ctx context.Context, exps []core.Experiment, opts core.RunOptions) <-chan cellOutcome {
+	out := make(chan cellOutcome)
+	go func() {
+		defer close(out)
+		core.ParallelEach(ctx, len(exps), s.runner.Workers(), func(i int) {
+			res, err, _ := s.execute(ctx, exps[i], opts, true)
+			// The send races the writer abandoning the response; a
+			// cancelled context unblocks the worker so no goroutine
+			// outlives the request.
+			select {
+			case out <- cellOutcome{index: i, res: res, err: err}:
+			case <-ctx.Done():
+			}
+		})
+	}()
+	return out
+}
+
+// streamSweep writes one NDJSON SweepEvent per cell in completion order,
+// flushing after every line, then a final summary event.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, exps []core.Experiment, opts core.RunOptions) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	enc := json.NewEncoder(w)
+	failed := 0
+	ch := s.runSweep(r.Context(), exps, opts)
+	for oc := range ch {
+		i := oc.index
+		ev := SweepEvent{Index: &i, Experiment: &exps[i]}
+		if oc.err != nil {
+			failed++
+			ev.Error = oc.err.Error()
+		} else {
+			ev.Result = &oc.res
+		}
+		if enc.Encode(ev) != nil {
+			// The client went away; drain so the sweep goroutine (which
+			// also unblocks via r.Context()) can close the channel.
+			for range ch {
+			}
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(SweepEvent{Done: true, Cells: len(exps), Failed: failed})
+}
+
+// arraySweep waits for the whole grid and responds with one JSON array of
+// results in input order; any failed cell fails the whole request.
+func (s *Server) arraySweep(w http.ResponseWriter, r *http.Request, exps []core.Experiment, opts core.RunOptions) {
+	results := make([]core.Result, len(exps))
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	ch := s.runSweep(ctx, exps, opts)
+	for oc := range ch {
+		if oc.err != nil {
+			// One failed cell fails the request: stop dispatching the
+			// rest and drain what's in flight.
+			cancel()
+			for range ch {
+			}
+			s.writeRunError(w, r, fmt.Errorf("experiment %s: %w", exps[oc.index], oc.err))
+			return
+		}
+		results[oc.index] = oc.res
+	}
+	if err := r.Context().Err(); err != nil {
+		return // client went away mid-sweep
+	}
+	body, err := json.Marshal(results)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// RegistryInfo is the response of GET /v1/registry.
+type RegistryInfo struct {
+	Targets   []string `json:"targets"`
+	Workloads []string `json:"workloads"`
+	Pipelines []string `json:"pipelines"`
+	Engines   []string `json:"engines"`
+}
+
+func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	pipes := make([]string, len(core.Pipelines))
+	for i, p := range core.Pipelines {
+		pipes[i] = p.String()
+	}
+	info := RegistryInfo{
+		Targets:   core.TargetNames(),
+		Workloads: core.WorkloadNames(),
+		Pipelines: pipes,
+		Engines:   sim.EngineNames(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var sb strings.Builder
+	st := s.runner.Snapshot()
+	fmt.Fprintf(&sb, "# HELP cwserve_cache_mem_hits_total Requests answered by the in-memory cell map.\n")
+	fmt.Fprintf(&sb, "# TYPE cwserve_cache_mem_hits_total counter\n")
+	fmt.Fprintf(&sb, "cwserve_cache_mem_hits_total %d\n", st.MemHits)
+	fmt.Fprintf(&sb, "# HELP cwserve_cache_mem_misses_total Requests past the in-memory cell map.\n")
+	fmt.Fprintf(&sb, "# TYPE cwserve_cache_mem_misses_total counter\n")
+	fmt.Fprintf(&sb, "cwserve_cache_mem_misses_total %d\n", st.MemMisses)
+	fmt.Fprintf(&sb, "# HELP cwserve_cache_store_hits_total Memory misses answered by the persistent store.\n")
+	fmt.Fprintf(&sb, "# TYPE cwserve_cache_store_hits_total counter\n")
+	fmt.Fprintf(&sb, "cwserve_cache_store_hits_total %d\n", st.StoreHits)
+	fmt.Fprintf(&sb, "# HELP cwserve_cache_store_misses_total Memory misses the persistent store could not answer.\n")
+	fmt.Fprintf(&sb, "# TYPE cwserve_cache_store_misses_total counter\n")
+	fmt.Fprintf(&sb, "cwserve_cache_store_misses_total %d\n", st.StoreMisses)
+	fmt.Fprintf(&sb, "# HELP cwserve_cache_runs_total Experiments actually compiled and simulated.\n")
+	fmt.Fprintf(&sb, "# TYPE cwserve_cache_runs_total counter\n")
+	fmt.Fprintf(&sb, "cwserve_cache_runs_total %d\n", st.Runs)
+	fmt.Fprintf(&sb, "# HELP cwserve_cache_evictions_total Cells dropped by the LRU bound.\n")
+	fmt.Fprintf(&sb, "# TYPE cwserve_cache_evictions_total counter\n")
+	fmt.Fprintf(&sb, "cwserve_cache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(&sb, "# HELP cwserve_cache_store_errors_total Store load/save operational failures.\n")
+	fmt.Fprintf(&sb, "# TYPE cwserve_cache_store_errors_total counter\n")
+	fmt.Fprintf(&sb, "cwserve_cache_store_errors_total %d\n", st.StoreErrors)
+
+	s.met.render(&sb, gauges{
+		queueDepth: s.admit.queued(),
+		slotsBusy:  s.admit.busy(),
+		inflight:   s.flight.inflight(),
+		cacheCells: s.runner.CacheSize(),
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, sb.String())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

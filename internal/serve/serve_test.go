@@ -1,0 +1,713 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"configwall/internal/core"
+	"configwall/internal/serve"
+	"configwall/internal/sim"
+	"configwall/internal/store"
+)
+
+var testExp = core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.AllOptimizations, N: 8}
+
+// slowStore delays every Load and then misses, so concurrent requests for
+// one cell genuinely overlap inside the serving stack; Save is dropped.
+type slowStore struct {
+	delay time.Duration
+
+	mu    sync.Mutex
+	loads int
+}
+
+func (s *slowStore) Load(core.Experiment, core.RunOptions) (core.Result, bool, error) {
+	time.Sleep(s.delay)
+	s.mu.Lock()
+	s.loads++
+	s.mu.Unlock()
+	return core.Result{}, false, nil
+}
+
+func (s *slowStore) Save(core.Experiment, core.RunOptions, core.Result) error { return nil }
+
+func (s *slowStore) Loads() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loads
+}
+
+// newTestServer builds a Server on a fresh runner and mounts it on an
+// httptest listener.
+func newTestServer(t *testing.T, opts serve.Options) (*serve.Server, *httptest.Server, *serve.Client) {
+	t.Helper()
+	if opts.Runner == nil {
+		opts.Runner = core.NewRunner(0)
+	}
+	sv, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(sv)
+	t.Cleanup(func() {
+		ts.Close()
+		sv.Close()
+	})
+	return sv, ts, serve.NewClient(ts.URL)
+}
+
+// directBody computes the expected /v1/run response body: exactly
+// json.Marshal of a direct Runner.Run result on a private runner.
+func directBody(t *testing.T, e core.Experiment, opts core.RunOptions) []byte {
+	t.Helper()
+	res, err := core.NewRunner(0).Run(context.Background(), e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestRunByteIdentical asserts the serving contract: GET and POST /v1/run
+// bodies are byte-identical to json.Marshal of a direct Runner.Run result.
+func TestRunByteIdentical(t *testing.T) {
+	_, ts, c := newTestServer(t, serve.Options{})
+	opts := core.RunOptions{}
+	want := directBody(t, testExp, opts)
+
+	got, err := c.RunRaw(context.Background(), testExp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("GET body differs from direct Runner.Run marshal:\n got %s\nwant %s", got, want)
+	}
+
+	// POST with the equivalent JSON body must serve the identical bytes.
+	rq := serve.RunRequest{Target: testExp.Target, Workload: testExp.Workload, Pipeline: testExp.Pipeline.String(), N: testExp.N}
+	buf, _ := json.Marshal(rq)
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	posted, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST status %d: %s", resp.StatusCode, posted)
+	}
+	if !bytes.Equal(posted, want) {
+		t.Errorf("POST body differs from direct Runner.Run marshal")
+	}
+}
+
+// TestCoalescing fires 64 concurrent identical requests against a server
+// whose store is slow, so they all overlap in flight; exactly one
+// simulation (and one store load) may happen, and every response must be
+// byte-identical.
+func TestCoalescing(t *testing.T) {
+	st := &slowStore{delay: 100 * time.Millisecond}
+	runner := core.NewRunnerWith(core.RunnerOptions{Workers: 4, Store: st})
+	sv, _, c := newTestServer(t, serve.Options{Runner: runner, Concurrency: 2})
+
+	const clients = 64
+	bodies := make([][]byte, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i], errs[i] = c.RunRaw(context.Background(), testExp, core.RunOptions{})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+	if !bytes.Equal(bodies[0], directBody(t, testExp, core.RunOptions{})) {
+		t.Error("coalesced responses differ from direct Runner.Run marshal")
+	}
+	stats := sv.Runner().Snapshot()
+	if stats.Runs != 1 {
+		t.Errorf("Runs = %d, want exactly 1 simulation for 64 concurrent identical requests", stats.Runs)
+	}
+	if got := st.Loads(); got != 1 {
+		t.Errorf("store loads = %d, want 1 (coalescing must also collapse store traffic)", got)
+	}
+}
+
+// TestValidation rejects malformed requests with 400 and a message that
+// lists the valid names.
+func TestValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, serve.Options{})
+	cases := []struct {
+		name, query, want string
+	}{
+		{"unknown target", "target=tpu&workload=matmul&pipeline=all&n=8", "unknown target"},
+		{"missing target", "workload=matmul&pipeline=all&n=8", "registered"},
+		{"unknown workload", "target=opengemm&workload=conv&pipeline=all&n=8", "unknown workload"},
+		{"unknown pipeline", "target=opengemm&workload=matmul&pipeline=turbo&n=8", "unknown pipeline"},
+		{"unknown engine", "target=opengemm&workload=matmul&pipeline=all&n=8&engine=warp", "valid engines"},
+		{"bad n", "target=opengemm&workload=matmul&pipeline=all&n=0", "positive sweep size"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Get(ts.URL + "/v1/run?" + tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400 (body %s)", resp.StatusCode, body)
+			}
+			if !strings.Contains(string(body), tc.want) {
+				t.Errorf("body %q does not mention %q", body, tc.want)
+			}
+		})
+	}
+}
+
+// TestBackpressure asserts the admission queue sheds load as 429 instead
+// of queuing without bound: with one slot and no queue, concurrent
+// distinct-cell requests beyond the slot are rejected immediately.
+func TestBackpressure(t *testing.T) {
+	st := &slowStore{delay: 300 * time.Millisecond}
+	runner := core.NewRunnerWith(core.RunnerOptions{Workers: 4, Store: st})
+	_, ts, c := newTestServer(t, serve.Options{Runner: runner, Concurrency: 1, QueueDepth: -1})
+
+	const clients = 4
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := testExp
+			e.N = 8 * (i + 1) // distinct cells: coalescing must not absorb them
+			_, err := c.RunRaw(context.Background(), e, core.RunOptions{})
+			codes[i] = http.StatusOK
+			if err != nil {
+				if se, ok := err.(*serve.StatusError); ok {
+					codes[i] = se.Code
+				} else {
+					codes[i] = -1
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	ok, rejected := 0, 0
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("request %d: unexpected status %d", i, code)
+		}
+	}
+	if ok < 1 || rejected < 1 {
+		t.Errorf("got %d ok / %d rejected, want at least one of each", ok, rejected)
+	}
+	// The rejection must surface in /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(metrics), "cwserve_rejected_total") {
+		t.Error("metrics do not export cwserve_rejected_total")
+	}
+}
+
+// TestQueueTimeout asserts a queued request 429s once the queue wait
+// exceeds the configured timeout.
+func TestQueueTimeout(t *testing.T) {
+	st := &slowStore{delay: 500 * time.Millisecond}
+	runner := core.NewRunnerWith(core.RunnerOptions{Workers: 4, Store: st})
+	_, _, c := newTestServer(t, serve.Options{
+		Runner: runner, Concurrency: 1, QueueDepth: 4, QueueTimeout: 30 * time.Millisecond,
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.RunRaw(context.Background(), testExp, core.RunOptions{}) // occupies the slot
+	}()
+	time.Sleep(100 * time.Millisecond) // let the first request take the slot
+
+	other := testExp
+	other.N = 16
+	_, err := c.RunRaw(context.Background(), other, core.RunOptions{})
+	se, ok := err.(*serve.StatusError)
+	if !ok || se.Code != http.StatusTooManyRequests {
+		t.Errorf("queued request returned %v, want a 429 StatusError", err)
+	}
+	if ok && !strings.Contains(se.Body, "timed out") {
+		t.Errorf("429 body %q does not mention the queue timeout", se.Body)
+	}
+	wg.Wait()
+}
+
+// TestSweepStream runs a small grid through the NDJSON streaming endpoint
+// and checks every cell arrives exactly once with results identical to
+// direct execution, then the summary line.
+func TestSweepStream(t *testing.T) {
+	_, _, c := newTestServer(t, serve.Options{})
+	rq := serve.SweepRequest{
+		Targets:   []string{"opengemm"},
+		Workloads: []string{core.WorkloadMatmul},
+		Pipelines: []string{"base", "all"},
+		Sizes:     []int{8, 16},
+	}
+
+	seen := map[int]core.Result{}
+	summary, err := c.Sweep(context.Background(), rq, func(ev serve.SweepEvent) error {
+		if ev.Error != "" {
+			return fmt.Errorf("cell %v failed: %s", ev.Index, ev.Error)
+		}
+		if ev.Index == nil || ev.Result == nil || ev.Experiment == nil {
+			return fmt.Errorf("malformed event %+v", ev)
+		}
+		if _, dup := seen[*ev.Index]; dup {
+			return fmt.Errorf("index %d delivered twice", *ev.Index)
+		}
+		seen[*ev.Index] = *ev.Result
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Cells != 4 || summary.Failed != 0 {
+		t.Fatalf("summary = %+v, want 4 cells, 0 failed", summary)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("got %d events, want 4", len(seen))
+	}
+
+	pipes := []core.Pipeline{core.Baseline, core.AllOptimizations}
+	exps := core.Sweep(rq.Targets, rq.Workloads, pipes, rq.Sizes)
+	direct, err := core.NewRunner(0).RunAll(context.Background(), exps, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range direct {
+		if !reflect.DeepEqual(seen[i], want) {
+			t.Errorf("cell %d (%s): streamed result differs from direct RunAll", i, exps[i])
+		}
+	}
+}
+
+// TestSweepArray checks the non-streaming mode returns one JSON array in
+// input order, byte-identical to marshaling the direct RunAll results.
+func TestSweepArray(t *testing.T) {
+	_, ts, _ := newTestServer(t, serve.Options{})
+	stream := false
+	rq := serve.SweepRequest{
+		Targets:   []string{"opengemm"},
+		Workloads: []string{core.WorkloadMatmul},
+		Pipelines: []string{"base", "all"},
+		Sizes:     []int{8},
+		Stream:    &stream,
+	}
+	buf, _ := json.Marshal(rq)
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	exps := core.Sweep(rq.Targets, rq.Workloads, []core.Pipeline{core.Baseline, core.AllOptimizations}, rq.Sizes)
+	direct, err := core.NewRunner(0).RunAll(context.Background(), exps, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(direct)
+	if !bytes.Equal(body, want) {
+		t.Errorf("array sweep body differs from direct RunAll marshal")
+	}
+}
+
+// TestSweepValidation covers grid-level rejections: empty axes, unknown
+// names and the sweep-size cap.
+func TestSweepValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, serve.Options{MaxSweepCells: 2})
+	post := func(rq serve.SweepRequest) (int, string) {
+		buf, _ := json.Marshal(rq)
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := post(serve.SweepRequest{}); code != http.StatusBadRequest || !strings.Contains(body, "registered targets") {
+		t.Errorf("empty sweep: %d %q", code, body)
+	}
+	big := serve.SweepRequest{
+		Targets: []string{"opengemm"}, Workloads: []string{core.WorkloadMatmul},
+		Pipelines: []string{"base", "all"}, Sizes: []int{8, 12},
+	}
+	if code, body := post(big); code != http.StatusBadRequest || !strings.Contains(body, "above the server cap") {
+		t.Errorf("over-cap sweep: %d %q", code, body)
+	}
+}
+
+// TestRegistry checks the discovery endpoint lists the built-in names.
+func TestRegistry(t *testing.T) {
+	_, _, c := newTestServer(t, serve.Options{})
+	info, err := c.Registry(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(info.Targets, "gemmini") || !contains(info.Targets, "opengemm") {
+		t.Errorf("targets = %v, want gemmini and opengemm", info.Targets)
+	}
+	if !contains(info.Workloads, core.WorkloadMatmul) {
+		t.Errorf("workloads = %v, want %s", info.Workloads, core.WorkloadMatmul)
+	}
+	if !contains(info.Engines, "ref") || !contains(info.Engines, "fast") {
+		t.Errorf("engines = %v, want ref and fast", info.Engines)
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMetrics checks the exposition contains the cache counters, gauges
+// and latency histogram after traffic.
+func TestMetrics(t *testing.T) {
+	_, _, c := newTestServer(t, serve.Options{})
+	if _, err := c.RunRaw(context.Background(), testExp, core.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"cwserve_cache_runs_total 1",
+		"cwserve_cache_mem_hits_total",
+		"cwserve_cache_evictions_total",
+		`cwserve_requests_total{endpoint="run",code="200"} 1`,
+		"cwserve_queue_depth 0",
+		"cwserve_slots_busy 0",
+		`cwserve_latency_seconds_bucket{endpoint="run",le="+Inf"} 1`,
+		`cwserve_latency_seconds_count{endpoint="run"} 1`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics missing %q", series)
+		}
+	}
+}
+
+// TestHealthzAndDrain checks the health endpoint flips to 503 on drain
+// and experiment endpoints reject new work while draining.
+func TestHealthzAndDrain(t *testing.T) {
+	sv, ts, c := newTestServer(t, serve.Options{})
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("healthz before drain: %v", err)
+	}
+	sv.BeginDrain()
+	err := c.Healthz(context.Background())
+	se, ok := err.(*serve.StatusError)
+	if !ok || se.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain = %v, want 503", err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/run?target=opengemm&workload=matmul&pipeline=all&n=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("run during drain = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestWarmFromStore boots a server over a store another runner populated
+// and checks requests are answered without any simulation.
+func TestWarmFromStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := []core.Experiment{testExp, {Target: "gemmini", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 16}}
+	opts := core.RunOptions{Engine: sim.EngineFast}
+	first := core.NewRunnerWith(core.RunnerOptions{Store: st})
+	if _, err := first.RunAll(context.Background(), exps, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store handle (fresh process, in spirit) backs the server.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := core.NewRunnerWith(core.RunnerOptions{Store: st2})
+	sv, _, c := newTestServer(t, serve.Options{Runner: runner})
+	warmed, err := sv.WarmFromStore(context.Background(), st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != len(exps) {
+		t.Fatalf("warmed %d cells, want %d", warmed, len(exps))
+	}
+	for _, e := range exps {
+		if _, err := c.RunRaw(context.Background(), e, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := sv.Runner().Snapshot()
+	if stats.Runs != 0 {
+		t.Errorf("Runs = %d after warm boot, want 0 (everything served from the warmed cache)", stats.Runs)
+	}
+}
+
+// TestAcceptanceLoadGen is the PR's acceptance criterion: ≥10k requests
+// of a zipf-skewed (≥90% repeat) mix complete with zero duplicate
+// simulator runs for concurrently in-flight identical experiments, every
+// response byte-identical to a direct Runner.Run result, and the server
+// drains cleanly with no goroutine leaks.
+func TestAcceptanceLoadGen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-request acceptance run skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	runner := core.NewRunner(0)
+	sv, err := serve.New(serve.Options{Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(sv)
+	c := serve.NewClient(ts.URL)
+
+	// 8 distinct cells; 10k zipf-drawn requests repeat them >99% of the
+	// time, exactly the overlapping-query traffic of a search client.
+	universe := core.Sweep(
+		[]string{"opengemm", "gemmini"},
+		[]string{core.WorkloadMatmul},
+		[]core.Pipeline{core.Baseline, core.AllOptimizations},
+		[]int{16, 32},
+	)
+	opts := core.RunOptions{}
+	rep, err := serve.LoadGen(context.Background(), c, serve.LoadGenOptions{
+		Experiments: universe,
+		Options:     opts,
+		Requests:    10000,
+		Clients:     16,
+		ZipfS:       1.4,
+		Seed:        1,
+		Verify:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.String())
+	if rep.Errors != 0 {
+		t.Errorf("loadgen errors = %d, want 0 (status histogram: %v)", rep.Errors, rep.StatusHist)
+	}
+	if rep.Mismatched != 0 {
+		t.Errorf("byte-identity mismatches = %d, want 0", rep.Mismatched)
+	}
+
+	// Zero duplicate simulations: every distinct cell ran exactly once.
+	stats := runner.Snapshot()
+	if stats.Runs != uint64(rep.Distinct) {
+		t.Errorf("Runs = %d for %d distinct cells — duplicate simulations happened", stats.Runs, rep.Distinct)
+	}
+
+	// Full byte-identity against direct execution for every cell.
+	canonical, err := serve.CanonicalBodies(context.Background(), universe, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range universe {
+		body, err := c.RunRaw(context.Background(), e, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := canonical[core.FingerprintKey(e, opts)]; !bytes.Equal(body, want) {
+			t.Errorf("%s: served body differs from direct Runner.Run marshal", e)
+		}
+	}
+
+	// Clean drain: no goroutine may outlive the server.
+	sv.BeginDrain()
+	ts.Close()
+	sv.Close()
+	c.HTTPClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline+2 {
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutines leaked: %d now vs %d at start\n%s", g, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestMaxNCap rejects huge-n requests up front: a claimed cell always
+// computes to completion, so admission-time is the only place to stop an
+// O(n^3) simulation from wedging a slot for hours.
+func TestMaxNCap(t *testing.T) {
+	_, ts, _ := newTestServer(t, serve.Options{MaxN: 64})
+	resp, err := http.Get(ts.URL + "/v1/run?target=opengemm&workload=matmul&pipeline=all&n=128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "above the server cap") {
+		t.Errorf("n over cap: %d %q, want 400 naming the cap", resp.StatusCode, body)
+	}
+
+	big, _ := json.Marshal(serve.SweepRequest{
+		Targets: []string{"opengemm"}, Workloads: []string{core.WorkloadMatmul},
+		Pipelines: []string{"base"}, Sizes: []int{128},
+	})
+	sresp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	sbody, _ := io.ReadAll(sresp.Body)
+	if sresp.StatusCode != http.StatusBadRequest || !strings.Contains(string(sbody), "above the server cap") {
+		t.Errorf("sweep size over cap: %d %q, want 400 naming the cap", sresp.StatusCode, sbody)
+	}
+}
+
+// TestPanicContainment: a cell whose build panics must produce a 500 for
+// that request — never take down the daemon — and leave the server
+// serving other cells.
+func TestPanicContainment(t *testing.T) {
+	registerPanicky(t)
+	_, ts, c := newTestServer(t, serve.Options{})
+	resp, err := http.Get(ts.URL + "/v1/run?target=opengemm&workload=panicky&pipeline=base&n=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusInternalServerError || !strings.Contains(string(body), "panic") {
+		t.Errorf("panicking cell: %d %q, want 500 mentioning the panic", resp.StatusCode, body)
+	}
+	// The daemon survived and still serves healthy cells.
+	if _, err := c.RunRaw(context.Background(), testExp, core.RunOptions{}); err != nil {
+		t.Errorf("healthy cell after a panicking one: %v", err)
+	}
+}
+
+var panickyOnce sync.Once
+
+// registerPanicky registers (once; the registry is global) a workload
+// whose Build panics.
+func registerPanicky(t *testing.T) {
+	t.Helper()
+	panickyOnce.Do(func() {
+		err := core.RegisterWorkload(core.Workload{
+			Name:        "panicky",
+			Description: "test workload whose build panics",
+			Build:       func(core.Target, int) (core.Instance, error) { panic("kaboom") },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSweepSurvivesRequestModeRejection: a sweep cell that coalesces onto
+// a /v1/run flight leader shed by admission control must not inherit the
+// 429 — batch cells wait for slots, so the sweep retries with batch
+// semantics and completes.
+func TestSweepSurvivesRequestModeRejection(t *testing.T) {
+	st := &slowStore{delay: 400 * time.Millisecond}
+	runner := core.NewRunnerWith(core.RunnerOptions{Workers: 4, Store: st})
+	_, _, c := newTestServer(t, serve.Options{
+		Runner: runner, Concurrency: 1, QueueDepth: 4, QueueTimeout: 50 * time.Millisecond,
+	})
+
+	// Cell A occupies the single slot for ~400ms.
+	occupied := make(chan struct{})
+	go func() {
+		defer close(occupied)
+		c.RunRaw(context.Background(), testExp, core.RunOptions{})
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	// Cell X: a request-mode GET races a sweep containing the same cell.
+	// Whichever leads, the sweep must stream X successfully — the GET may
+	// legitimately 429, the sweep may not.
+	x := testExp
+	x.N = 16
+	getDone := make(chan error, 1)
+	go func() {
+		_, err := c.RunRaw(context.Background(), x, core.RunOptions{})
+		getDone <- err
+	}()
+	summary, err := c.Sweep(context.Background(), serve.SweepRequest{
+		Targets: []string{x.Target}, Workloads: []string{x.Workload},
+		Pipelines: []string{"all"}, Sizes: []int{x.N},
+	}, func(ev serve.SweepEvent) error {
+		if ev.Error != "" {
+			return fmt.Errorf("sweep cell failed: %s", ev.Error)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if summary.Failed != 0 || summary.Cells != 1 {
+		t.Fatalf("summary = %+v, want 1 cell, 0 failed", summary)
+	}
+	if err := <-getDone; err != nil {
+		if se, ok := err.(*serve.StatusError); !ok || se.Code != http.StatusTooManyRequests {
+			t.Errorf("concurrent GET: %v, want success or a 429", err)
+		}
+	}
+	<-occupied
+}

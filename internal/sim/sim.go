@@ -9,6 +9,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"configwall/internal/accel"
 	"configwall/internal/mem"
@@ -133,11 +134,21 @@ func EngineByName(name string) (Engine, error) {
 	case "fast":
 		return EngineFast, nil
 	}
-	return EngineRef, fmt.Errorf("sim: unknown engine %q (want ref|fast)", name)
+	return EngineRef, fmt.Errorf("sim: unknown engine %q (valid engines: %s)", name, strings.Join(EngineNames(), ", "))
 }
 
 // Engines lists the available engines.
 var Engines = []Engine{EngineRef, EngineFast}
+
+// EngineNames lists the parseable engine names in Engines order; commands
+// use it to build flag usage text and fail-fast error listings.
+func EngineNames() []string {
+	names := make([]string, len(Engines))
+	for i, e := range Engines {
+		names[i] = e.String()
+	}
+	return names
+}
 
 // Machine couples one host with one accelerator device over shared memory.
 type Machine struct {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"configwall/internal/core"
 )
@@ -23,15 +24,24 @@ import (
 // SchemaVersion identifies the serialized envelope layout. Bump it whenever
 // core.Result (or the envelope itself) changes shape: old entries then hash
 // to different paths and are simply never found again.
-const SchemaVersion = 1
+//
+// v2 added the experiment cell and run options to the envelope so the
+// store is enumerable: Keys/Each can hand every entry back as a typed
+// (experiment, options, result) record, which is what lets a serving
+// daemon warm its runner from the store at boot without knowing which
+// sweeps produced it.
+const SchemaVersion = 2
 
 // envelope is the on-disk JSON document. Key is stored redundantly (the
 // path already encodes it) so loads can reject hash collisions and
-// hand-copied files.
+// hand-copied files; Experiment and Options make the entry
+// self-describing for enumeration.
 type envelope struct {
-	Schema int         `json:"schema"`
-	Key    string      `json:"key"`
-	Result core.Result `json:"result"`
+	Schema     int             `json:"schema"`
+	Key        string          `json:"key"`
+	Experiment core.Experiment `json:"experiment"`
+	Options    core.RunOptions `json:"options"`
+	Result     core.Result     `json:"result"`
 }
 
 // DiskStore is a content-addressed directory of experiment results
@@ -97,7 +107,7 @@ func (s *DiskStore) Load(e core.Experiment, opts core.RunOptions) (core.Result, 
 // complete entries.
 func (s *DiskStore) Save(e core.Experiment, opts core.RunOptions, res core.Result) error {
 	fp := Fingerprint(e, opts)
-	data, err := json.Marshal(envelope{Schema: SchemaVersion, Key: fp, Result: res})
+	data, err := json.Marshal(envelope{Schema: SchemaVersion, Key: fp, Experiment: e, Options: opts, Result: res})
 	if err != nil {
 		return fmt.Errorf("store: save %s: %w", e, err)
 	}
@@ -139,4 +149,110 @@ func (s *DiskStore) Len() (int, error) {
 		return nil
 	})
 	return n, err
+}
+
+// Entry is one enumerated store record: the fingerprint key addressing it
+// plus the self-described experiment cell, run options and result.
+type Entry struct {
+	Key        string
+	Experiment core.Experiment
+	Options    core.RunOptions
+	Result     core.Result
+}
+
+// Each calls fn for every complete, decodable entry in the store, in
+// sorted fingerprint-key order. It is corruption-tolerant the way Load is:
+// truncated, garbled, schema-mismatched, misplaced or in-flight temp files
+// are silently skipped, never an error — only operational failures (an
+// unreadable directory, a permission error, or fn itself failing) abort
+// the walk. Entries stream one at a time (two passes: a cheap key index,
+// then one full decode per callback), so enumerating a store of large
+// trace-recording results never materializes more than one Result.
+func (s *DiskStore) Each(fn func(Entry) error) error {
+	index, err := s.index()
+	if err != nil {
+		return err
+	}
+	for _, kp := range index {
+		data, err := os.ReadFile(kp.path)
+		if err != nil {
+			// The entry may have been replaced between the passes; a
+			// vanished file is a skip, anything else is operational.
+			if os.IsNotExist(err) {
+				continue
+			}
+			return fmt.Errorf("store: enumerate %s: %w", kp.path, err)
+		}
+		var env envelope
+		if json.Unmarshal(data, &env) != nil || env.Schema != SchemaVersion || env.Key != kp.key {
+			continue
+		}
+		if err := fn(Entry{Key: env.Key, Experiment: env.Experiment, Options: env.Options, Result: env.Result}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Keys returns the sorted fingerprint keys of every complete, decodable
+// entry — the enumeration half of the content-addressed layout (the hash
+// in the file name is one-way; the key inside the envelope is not).
+func (s *DiskStore) Keys() ([]string, error) {
+	index, err := s.index()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(index))
+	for i, kp := range index {
+		keys[i] = kp.key
+	}
+	return keys, nil
+}
+
+// keyedPath locates one enumerable entry: its fingerprint key and file.
+type keyedPath struct {
+	key, path string
+}
+
+// index walks the store decoding only the envelope header of each file
+// and returns the (key, path) pairs sorted by key. Undecodable,
+// schema-mismatched and misplaced files are skipped exactly like Load.
+func (s *DiskStore) index() ([]keyedPath, error) {
+	var out []keyedPath
+	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || filepath.Ext(path) != ".json" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			// The file may be a temp entry renamed away mid-walk; a
+			// vanished file is a skip, anything else is operational.
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return fmt.Errorf("store: enumerate %s: %w", path, err)
+		}
+		var head struct {
+			Schema int    `json:"schema"`
+			Key    string `json:"key"`
+		}
+		if json.Unmarshal(data, &head) != nil || head.Schema != SchemaVersion {
+			return nil
+		}
+		// Reject misplaced or hand-copied files exactly like Load: the
+		// envelope's key must hash to the path it was found at.
+		if s.path(head.Key) != path {
+			return nil
+		}
+		out = append(out, keyedPath{key: head.Key, path: path})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out, nil
 }

@@ -1,13 +1,16 @@
 package store_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
 	"configwall/internal/core"
+	"configwall/internal/sim"
 	"configwall/internal/store"
 )
 
@@ -103,7 +106,8 @@ func TestSchemaMismatchInvalidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bumped := strings.Replace(string(data), `"schema":1`, `"schema":999`, 1)
+	marker := fmt.Sprintf(`"schema":%d`, store.SchemaVersion)
+	bumped := strings.Replace(string(data), marker, `"schema":999`, 1)
 	if bumped == string(data) {
 		t.Fatalf("schema marker not found in %s", data)
 	}
@@ -232,5 +236,136 @@ func TestNoTempFilesLeftBehind(t *testing.T) {
 func TestOpenRejectsEmptyDir(t *testing.T) {
 	if _, err := store.Open(""); err == nil {
 		t.Error("Open(\"\") must error")
+	}
+}
+
+// TestKeysAndEach saves several cells under distinct options and checks
+// the enumeration returns every entry, sorted by fingerprint key, with
+// the experiment/options/result round-tripped intact.
+func TestKeysAndEach(t *testing.T) {
+	s := openStore(t)
+	cells := []struct {
+		e    core.Experiment
+		opts core.RunOptions
+	}{
+		{core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 16}, core.RunOptions{}},
+		{core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.AllOptimizations, N: 32}, core.RunOptions{SkipVerify: true}},
+		{core.Experiment{Target: "gemmini", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 16}, core.RunOptions{Engine: sim.EngineFast}},
+	}
+	want := map[string]core.Result{}
+	for i, c := range cells {
+		res := core.Result{Target: c.e.Target, Workload: c.e.Workload, N: c.e.N}
+		res.Cycles = uint64(100 + i)
+		if err := s.Save(c.e, c.opts, res); err != nil {
+			t.Fatal(err)
+		}
+		want[store.Fingerprint(c.e, c.opts)] = res
+	}
+
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(cells) {
+		t.Fatalf("Keys returned %d entries, want %d", len(keys), len(cells))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("keys are not sorted: %v", keys)
+	}
+
+	seen := 0
+	prev := ""
+	err = s.Each(func(e store.Entry) error {
+		if e.Key <= prev {
+			t.Errorf("Each out of order: %q after %q", e.Key, prev)
+		}
+		prev = e.Key
+		res, ok := want[e.Key]
+		if !ok {
+			t.Errorf("unexpected key %q", e.Key)
+			return nil
+		}
+		if !reflect.DeepEqual(e.Result, res) {
+			t.Errorf("entry %q: result did not round-trip", e.Key)
+		}
+		if got := store.Fingerprint(e.Experiment, e.Options); got != e.Key {
+			t.Errorf("entry %q: experiment/options re-fingerprint to %q", e.Key, got)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(cells) {
+		t.Errorf("Each visited %d entries, want %d", seen, len(cells))
+	}
+}
+
+// TestEachSkipsCorruptAndForeign garbles one entry and plants a
+// hand-copied file at a wrong path; enumeration must skip both, like Load.
+func TestEachSkipsCorruptAndForeign(t *testing.T) {
+	s := openStore(t)
+	opts := core.RunOptions{}
+	if err := s.Save(exp, opts, core.Result{Target: exp.Target}); err != nil {
+		t.Fatal(err)
+	}
+	other := exp
+	other.N = 32
+	if err := s.Save(other, opts, core.Result{Target: other.Target}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Garble the first entry.
+	var victim string
+	fp := store.Fingerprint(exp, opts)
+	err := filepath.WalkDir(s.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		if strings.Contains(string(data), fp) {
+			victim = path
+		}
+		return nil
+	})
+	if err != nil || victim == "" {
+		t.Fatalf("finding victim entry: %v", err)
+	}
+	if err := os.WriteFile(victim, []byte("\x00 garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a valid envelope at a path its key does not hash to.
+	foreign := filepath.Join(s.Dir(), "zz", "copied.json")
+	if err := os.MkdirAll(filepath.Dir(foreign), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	survivor := ""
+	err = filepath.WalkDir(s.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" && path != victim {
+			survivor = path
+		}
+		return err
+	})
+	if err != nil || survivor == "" {
+		t.Fatalf("finding intact entry: %v", err)
+	}
+	data, err := os.ReadFile(survivor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(foreign, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != store.Fingerprint(other, opts) {
+		t.Errorf("Keys = %v, want only the intact entry", keys)
 	}
 }
