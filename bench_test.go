@@ -174,6 +174,9 @@ func BenchmarkFigure11_OpenGeMM_512_RefEngine(b *testing.B) {
 func BenchmarkFigure11_OpenGeMM_512_FastEngine(b *testing.B) {
 	benchFigure11Engine(b, 512, configwall.EngineFast)
 }
+func BenchmarkFigure11_OpenGeMM_512_CompiledEngine(b *testing.B) {
+	benchFigure11Engine(b, 512, configwall.EngineCompiled)
+}
 
 // Figure 12: the four pipeline variants on the roofline, per size.
 func benchFigure12(b *testing.B, p configwall.Pipeline, n int) {

@@ -1,0 +1,238 @@
+package main
+
+// Micro-benchmark mode: -bench-json runs a fixed suite through
+// testing.Benchmark and writes one JSON report; -bench-compare checks a
+// fresh run of the same suite against a committed baseline (BENCH_*.json)
+// and exits non-zero on regression.
+//
+// The regression gate deliberately checks only machine-independent
+// quantities: allocs/op (deterministic modulo pool warm-up) and engine
+// speed *ratios* (compiled-vs-fast on the same host, so the machine
+// cancels out). Absolute ns/op is recorded for trajectory plots but never
+// gated — CI runners are too heterogeneous for a 20% wall-time bound to
+// mean anything.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"configwall/internal/core"
+	"configwall/internal/mem"
+	"configwall/internal/riscv"
+	"configwall/internal/sim"
+)
+
+type benchEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	Schema  int                   `json:"schema"`
+	Note    string                `json:"note"`
+	Go      string                `json:"go"`
+	Entries map[string]benchEntry `json:"entries"`
+	Derived map[string]float64    `json:"derived"`
+}
+
+const benchNote = "ns_per_op is machine-dependent and informational; " +
+	"-bench-compare gates on allocs_per_op and the derived speed ratios only"
+
+// suiteALULoop mirrors the internal/sim ALU micro-benchmark: a loop whose
+// body is a long straight line of ALU work, the block-execution best case.
+func suiteALULoop(iters int64) *riscv.Program {
+	a := riscv.NewAssembler()
+	a.Emit(riscv.Instr{Op: riscv.LI, Rd: 28, Imm: iters})
+	a.Emit(riscv.Instr{Op: riscv.LI, Rd: 5, Imm: 0x12345})
+	a.Label("top")
+	for i := 0; i < 4; i++ {
+		a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 6, Rs1: 5, Imm: 17})
+		a.Emit(riscv.Instr{Op: riscv.SLLI, Rd: 7, Rs1: 6, Imm: 3})
+		a.Emit(riscv.Instr{Op: riscv.XOR, Rd: 8, Rs1: 7, Rs2: 5})
+		a.Emit(riscv.Instr{Op: riscv.MUL, Rd: 9, Rs1: 8, Rs2: 6})
+		a.Emit(riscv.Instr{Op: riscv.AND, Rd: 5, Rs1: 9, Rs2: 8})
+		a.Emit(riscv.Instr{Op: riscv.SRLI, Rd: 5, Rs1: 5, Imm: 1})
+		a.Emit(riscv.Instr{Op: riscv.OR, Rd: 5, Rs1: 5, Rs2: 6})
+	}
+	a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 28, Rs1: 28, Imm: -1})
+	a.Emit(riscv.Instr{Op: riscv.BNE, Rs1: 28, Rs2: 0, Label: "top"})
+	a.Emit(riscv.Instr{Op: riscv.HALT})
+	p, err := a.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// suiteMemLoop mixes loads and stores into the blocks.
+func suiteMemLoop(iters int64) *riscv.Program {
+	a := riscv.NewAssembler()
+	a.Emit(riscv.Instr{Op: riscv.LI, Rd: 28, Imm: iters})
+	a.Emit(riscv.Instr{Op: riscv.LI, Rd: 10, Imm: 0x1000})
+	a.Label("top")
+	for i := int64(0); i < 4; i++ {
+		a.Emit(riscv.Instr{Op: riscv.LD, Rd: 5, Rs1: 10, Imm: 8 * i})
+		a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 5, Rs1: 5, Imm: 1})
+		a.Emit(riscv.Instr{Op: riscv.SD, Rs1: 10, Rs2: 5, Imm: 8 * i})
+		a.Emit(riscv.Instr{Op: riscv.LW, Rd: 6, Rs1: 10, Imm: 4 * i})
+	}
+	a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 28, Rs1: 28, Imm: -1})
+	a.Emit(riscv.Instr{Op: riscv.BNE, Rs1: 28, Rs2: 0, Label: "top"})
+	a.Emit(riscv.Instr{Op: riscv.HALT})
+	p, err := a.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+const suiteIters = 20_000
+
+// suiteEngine measures steady-state Run throughput of one engine on one
+// program: the machine is reused across iterations, so the compiled
+// engine's memoized program form is exercised the way sweeps exercise it.
+func suiteEngine(engine sim.Engine, p *riscv.Program) func(b *testing.B) {
+	return func(b *testing.B) {
+		mc := sim.NewMachine(mem.New(1<<16), riscv.RocketCost(), nil)
+		mc.Engine = engine
+		mc.MaxInstrs = 1 << 40
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mc.Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// suiteCoreRun measures the full pooled experiment path (compile +
+// simulate through the execution-context pool) on the compiled engine.
+func suiteCoreRun(b *testing.B) {
+	t := core.OpenGeMMTarget()
+	opts := core.RunOptions{SkipVerify: true, Engine: sim.EngineCompiled}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunTiledMatmul(t, core.AllOptimizations, 32, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSuite = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"sim_ref_alu", suiteEngine(sim.EngineRef, suiteALULoop(suiteIters))},
+	{"sim_fast_alu", suiteEngine(sim.EngineFast, suiteALULoop(suiteIters))},
+	{"sim_compiled_alu", suiteEngine(sim.EngineCompiled, suiteALULoop(suiteIters))},
+	{"sim_fast_mem", suiteEngine(sim.EngineFast, suiteMemLoop(suiteIters))},
+	{"sim_compiled_mem", suiteEngine(sim.EngineCompiled, suiteMemLoop(suiteIters))},
+	{"core_compiled_matmul_32", suiteCoreRun},
+}
+
+func runBenchSuite() benchReport {
+	rep := benchReport{
+		Schema:  6,
+		Note:    benchNote,
+		Go:      runtime.Version(),
+		Entries: map[string]benchEntry{},
+		Derived: map[string]float64{},
+	}
+	for _, s := range benchSuite {
+		fmt.Fprintf(os.Stderr, "cwbench: bench: %s\n", s.name)
+		r := testing.Benchmark(s.fn)
+		rep.Entries[s.name] = benchEntry{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	ratio := func(name, num, den string) {
+		n, d := rep.Entries[num], rep.Entries[den]
+		if d.NsPerOp > 0 {
+			rep.Derived[name] = n.NsPerOp / d.NsPerOp
+		}
+	}
+	ratio("fast_speedup_vs_ref_alu", "sim_ref_alu", "sim_fast_alu")
+	ratio("compiled_speedup_vs_ref_alu", "sim_ref_alu", "sim_compiled_alu")
+	ratio("compiled_speedup_vs_fast_alu", "sim_fast_alu", "sim_compiled_alu")
+	ratio("compiled_speedup_vs_fast_mem", "sim_fast_mem", "sim_compiled_mem")
+	return rep
+}
+
+// compareBench reports every >20% regression of cur against old. allocs/op
+// gets two extra allocs of absolute slack so pool warm-up inside a short
+// testing.Benchmark run cannot flake a zero-alloc entry.
+func compareBench(old, cur benchReport) []string {
+	const tol = 1.20
+	var bad []string
+	for _, s := range benchSuite {
+		o, ok := old.Entries[s.name]
+		if !ok {
+			continue // new entry, no baseline yet
+		}
+		c, present := cur.Entries[s.name]
+		if !present {
+			bad = append(bad, fmt.Sprintf("entry %s missing from the fresh run", s.name))
+			continue
+		}
+		if float64(c.AllocsPerOp) > float64(o.AllocsPerOp)*tol+2 {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op regressed %d -> %d (>20%%)",
+				s.name, o.AllocsPerOp, c.AllocsPerOp))
+		}
+	}
+	for name, o := range old.Derived {
+		c, present := cur.Derived[name]
+		if !present || c < o/tol {
+			bad = append(bad, fmt.Sprintf("%s: speed ratio regressed %.2f -> %.2f (>20%%)", name, o, c))
+		}
+	}
+	return bad
+}
+
+// runBenchMode drives -bench-json / -bench-compare: one suite run feeds
+// both the written report and the baseline comparison.
+func runBenchMode(jsonPath, comparePath string) {
+	rep := runBenchSuite()
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("-bench-json: %v", err)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatal("-bench-json: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "cwbench: bench: wrote %s\n", jsonPath)
+	}
+	if comparePath != "" {
+		buf, err := os.ReadFile(comparePath)
+		if err != nil {
+			fatal("-bench-compare: %v", err)
+		}
+		var old benchReport
+		if err := json.Unmarshal(buf, &old); err != nil {
+			fatal("-bench-compare: %s: %v", comparePath, err)
+		}
+		if bad := compareBench(old, rep); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "cwbench: bench: REGRESSION: %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cwbench: bench: no regressions vs %s\n", comparePath)
+	}
+	for _, s := range benchSuite {
+		e := rep.Entries[s.name]
+		fmt.Printf("%-24s %14.0f ns/op %8d B/op %6d allocs/op\n", s.name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	for _, name := range []string{"fast_speedup_vs_ref_alu", "compiled_speedup_vs_ref_alu", "compiled_speedup_vs_fast_alu", "compiled_speedup_vs_fast_mem"} {
+		if v, ok := rep.Derived[name]; ok {
+			fmt.Printf("%-28s %6.2fx\n", name, v)
+		}
+	}
+}

@@ -12,6 +12,10 @@
 //	cwbench -engine fast       # run every experiment on the fast engine
 //	cwbench -cache-dir .cwcache -store-ls    # list the stored entries
 //	cwbench -cpuprofile cw.pprof -only fig11  # pprof profile of a real sweep
+//	cwbench -memprofile heap.pprof -only fig11  # post-GC heap profile at exit
+//	cwbench -alloc-stats       # per-figure allocs/op and B/op on stderr
+//	cwbench -bench-json BENCH.json            # micro-suite report (JSON)
+//	cwbench -bench-compare BENCH_6.json       # fail on >20% regression
 //
 // All experiment cells run on one shared concurrent runner, so artifacts
 // that revisit a cell (Figure 11 and Figure 12 share their base/all cells)
@@ -29,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -160,7 +165,16 @@ func main() {
 	engineName := flag.String("engine", "ref", "simulator engine for every experiment ("+strings.Join(sim.EngineNames(), "|")+")")
 	storeLS := flag.Bool("store-ls", false, "list the entries of -cache-dir (sorted by cache key) and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-GC live objects) to this file at exit")
+	allocStats := flag.Bool("alloc-stats", false, "report per-figure allocation statistics (allocs/op, B/op) on stderr")
+	benchJSON := flag.String("bench-json", "", "run the fixed micro-benchmark suite, write a JSON report to this file, and exit")
+	benchCompare := flag.String("bench-compare", "", "run the micro-benchmark suite and exit non-zero on >20% regression against this baseline JSON")
 	flag.Parse()
+
+	if *benchJSON != "" || *benchCompare != "" {
+		runBenchMode(*benchJSON, *benchCompare)
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -177,6 +191,25 @@ func main() {
 			pprof.StopCPUProfile()
 			if err := f.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "cwbench: closing %s: %v\n", *cpuprofile, err)
+			}
+		}()
+	}
+
+	if *memprofile != "" {
+		// Written on normal return only (like -cpuprofile): a post-GC heap
+		// profile shows what the pools and caches retain at steady state.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cwbench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cwbench: -memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cwbench: closing %s: %v\n", *memprofile, err)
 			}
 		}()
 	}
@@ -231,7 +264,7 @@ func main() {
 			}
 			ran = true
 			section(a.title)
-			if err := a.run(b); err != nil {
+			if err := runArtifact(b, a, *allocStats); err != nil {
 				fatal("%s: %v", a.name, err)
 			}
 		}
@@ -243,6 +276,46 @@ func main() {
 	if *cacheStats {
 		fmt.Fprintf(os.Stderr, "cwbench: cache: %s\n", b.runner.Snapshot())
 	}
+}
+
+// runArtifact renders one artifact; with -alloc-stats it additionally
+// brackets the render with runtime.MemStats reads and reports the figure's
+// allocation footprint on stderr — per simulated cell when the artifact has
+// a sweep (allocs/op, B/op in the figure-regeneration sense: one op = one
+// experiment cell), totals otherwise. Stats go to stderr so figure output
+// stays byte-identical with and without the flag.
+func runArtifact(b *bench, a artifact, allocStats bool) error {
+	if !allocStats {
+		return a.run(b)
+	}
+	runsBefore := b.runner.Snapshot().Runs
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	err := a.run(b)
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	if cells := b.runner.Snapshot().Runs - runsBefore; cells > 0 {
+		fmt.Fprintf(os.Stderr, "cwbench: alloc: %-9s %d cells, %.0f allocs/op, %s/op (total %d allocs, %s)\n",
+			a.name, cells, float64(allocs)/float64(cells), humanBytes(bytes/cells), allocs, humanBytes(bytes))
+	} else {
+		fmt.Fprintf(os.Stderr, "cwbench: alloc: %-9s %d allocs, %s (no simulated cells)\n",
+			a.name, allocs, humanBytes(bytes))
+	}
+	return err
+}
+
+// humanBytes renders a byte count with a binary-ish scale for log lines.
+func humanBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 // precomputeShard runs one strided shard of the selected artifacts'

@@ -3,10 +3,10 @@
 // Baseline pipeline and every optimization pipeline on the co-simulator,
 // and checks observational equivalence plus the paper's metamorphic claims
 // (internal/difftest). Every compiled program additionally executes on
-// both simulator engines (reference interpreter and predecoded fast
-// engine, DESIGN.md §6) and any disagreement in counters, final memory or
-// summarized trace is a divergence — engine equivalence is a standing
-// campaign invariant. Programs execute concurrently on the shared
+// every registered simulator engine (reference interpreter, predecoded
+// fast engine and block-compiled engine, DESIGN.md §6, §8) and any
+// disagreement in counters, final memory or summarized trace is a
+// divergence — engine equivalence is a standing campaign invariant. Programs execute concurrently on the shared
 // experiment worker pool, but reports are input-ordered and byte-identical
 // across runs with the same flags.
 //
@@ -34,6 +34,7 @@ import (
 	"configwall/internal/difftest"
 	"configwall/internal/ir"
 	"configwall/internal/irgen"
+	"configwall/internal/sim"
 )
 
 type programResult struct {
@@ -64,8 +65,8 @@ func main() {
 	for _, p := range difftest.OptimizationPipelines() {
 		pipes = append(pipes, p.String())
 	}
-	fmt.Printf("cwfuzz: campaign seed=%d n=%d targets=%s pipelines=%s engine-xcheck=ref/fast\n",
-		*seed, *n, strings.Join(targets, ","), strings.Join(pipes, ","))
+	fmt.Printf("cwfuzz: campaign seed=%d n=%d targets=%s pipelines=%s engine-xcheck=%s\n",
+		*seed, *n, strings.Join(targets, ","), strings.Join(pipes, ","), strings.Join(sim.EngineNames(), "/"))
 
 	failed := false
 	for _, tn := range targets {

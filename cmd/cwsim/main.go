@@ -4,7 +4,8 @@
 //
 //	cwsim -target opengemm -pipeline all -n 64 -timeline
 //	cwsim -target gemmini -workload rectmm -pipeline base -n 128 -asm
-//	cwsim -target opengemm -n 256 -engine fast   # predecoded fast engine
+//	cwsim -target opengemm -n 256 -engine fast       # predecoded fast engine
+//	cwsim -target opengemm -n 256 -engine compiled   # block-compiled engine
 //	cwsim -list
 //
 // Targets and workloads resolve through the experiment registry, so

@@ -85,19 +85,25 @@ type RunOptions = core.RunOptions
 // Engine selects the simulator execution engine for a run.
 type Engine = sim.Engine
 
-// Simulator engines. Both produce byte-identical results — the
+// Simulator engines. All produce byte-identical results — the
 // differential oracle continuously enforces it — but the fast engine
-// executes a predecoded program form with block-batched accounting and is
-// several times faster (DESIGN.md §6).
+// executes a predecoded program form with block-batched accounting, and the
+// compiled engine goes further, translating basic blocks into chains of
+// pre-resolved closures (DESIGN.md §6, §8).
 const (
 	// EngineRef is the reference interpreter.
 	EngineRef = sim.EngineRef
 	// EngineFast is the predecoded fast engine.
 	EngineFast = sim.EngineFast
+	// EngineCompiled is the block-compiled engine.
+	EngineCompiled = sim.EngineCompiled
 )
 
-// EngineByName parses an engine name ("ref" or "fast").
+// EngineByName parses an engine name ("ref", "fast" or "compiled").
 func EngineByName(name string) (Engine, error) { return sim.EngineByName(name) }
+
+// EngineNames lists the registered engine names in definition order.
+func EngineNames() []string { return sim.EngineNames() }
 
 // GemminiTarget returns the Gemmini-style platform: a 16x16 systolic array
 // (512 ops/cycle) with sequential configuration via RoCC custom

@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"configwall/internal/accel"
 	"configwall/internal/accel/gemmini"
@@ -24,6 +25,7 @@ import (
 	"configwall/internal/riscv"
 	"configwall/internal/roofline"
 	"configwall/internal/sim"
+	"configwall/internal/trace"
 	"configwall/internal/workload"
 )
 
@@ -254,6 +256,40 @@ const (
 	stackBase  = 60 << 20
 )
 
+// execContext is a reusable simulation sandbox: the 64 MiB arena and the
+// machine around it. Allocating (and faulting in) the arena dominates the
+// setup cost of small experiments, so sweeps recycle contexts through a
+// pool and reset instead of reallocating: Memory.Reset zeroes only the
+// pages the previous run dirtied, and the registers are cleared so a
+// pooled machine is indistinguishable from a fresh one.
+type execContext struct {
+	memory *mem.Memory
+	mc     *sim.Machine
+}
+
+var execPool = sync.Pool{
+	New: func() any {
+		m := mem.New(memorySize)
+		return &execContext{memory: m, mc: sim.NewMachine(m, nil, nil)}
+	},
+}
+
+// getExecContext returns a context restored to fresh-machine state.
+func getExecContext() *execContext {
+	ctx := execPool.Get().(*execContext)
+	ctx.memory.Reset()
+	ctx.mc.Regs = [riscv.NumRegs]int64{}
+	return ctx
+}
+
+// putExecContext recycles the context. The device is dropped (it is
+// per-run state), but the machine's compiled-program memo stays with the
+// context so repeated runs reuse it.
+func putExecContext(ctx *execContext) {
+	ctx.mc.Device = nil
+	execPool.Put(ctx)
+}
+
 // RunTiledMatmul compiles the n x n tiled matmul for the target under the
 // given pipeline, simulates it, verifies the result, and returns the
 // measurements. It is the square-matmul convenience wrapper around Run.
@@ -300,7 +336,9 @@ func Run(t Target, w Workload, p Pipeline, n int, opts RunOptions) (Result, erro
 	}
 	res.ProgramInstrs = len(prog.Instrs)
 
-	memory := mem.New(memorySize)
+	ctx := getExecContext()
+	defer putExecContext(ctx)
+	memory := ctx.memory
 	for i, buf := range inst.Buffers {
 		if buf.Init != nil {
 			buf.Init(memory, bases[i])
@@ -308,9 +346,21 @@ func Run(t Target, w Workload, p Pipeline, n int, opts RunOptions) (Result, erro
 	}
 	memory.ResetCounters()
 
-	mc := sim.NewMachine(memory, t.Cost, t.NewDevice())
+	mc := ctx.mc
+	mc.Cost = t.Cost
+	mc.Device = t.NewDevice()
 	mc.Engine = opts.Engine
 	mc.RecordTrace = opts.RecordTrace
+	if opts.RecordTrace {
+		// Record into a pooled buffer. Results are cached and shared, so
+		// the trace is copied out below and the buffer returned to the pool
+		// for the next traced run (possibly on another context).
+		mc.Trace = trace.Buffers.Get()
+		defer func() {
+			trace.Buffers.Put(mc.Trace)
+			mc.Trace = nil
+		}()
+	}
 	for i := range inst.Buffers {
 		mc.Regs[riscv.A0+riscv.Reg(i)] = int64(bases[i])
 	}
@@ -319,7 +369,9 @@ func Run(t Target, w Workload, p Pipeline, n int, opts RunOptions) (Result, erro
 		return res, fmt.Errorf("simulation of %s/%s/%s/%d: %w", t.Name, w.Name, p, n, err)
 	}
 	res.Counters = mc.Counters
-	res.Trace = mc.Trace
+	if opts.RecordTrace && len(mc.Trace) > 0 {
+		res.Trace = append([]sim.Segment(nil), mc.Trace...)
+	}
 
 	if !opts.SkipVerify {
 		checked := 0

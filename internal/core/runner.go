@@ -229,6 +229,40 @@ func (r *Runner) Run(ctx context.Context, e Experiment, opts RunOptions) (Result
 	}
 }
 
+// Peek returns the memoized result of an already-completed cell without
+// computing, waiting, or consulting the persistent store. The boolean
+// reports a usable hit: false when the cell is absent, still in flight, or
+// completed with an error — callers fall back to Run, which serves the
+// cached error (or computes) consistently. A hit refreshes the cell's LRU
+// position and counts as a memory hit, exactly like Run on a warm cell.
+//
+// Serving layers use Peek as their zero-allocation fast path: a hot cell
+// resolves with one map lookup and no goroutine handshake. The returned
+// pointer aliases the shared cached Result and must be treated as strictly
+// read-only (the same rule Run's doc states for cached slices, extended to
+// the whole struct).
+func (r *Runner) Peek(e Experiment, opts RunOptions) (*Result, bool) {
+	k := keyOf(e, opts)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.cells[k]
+	if !ok {
+		return nil, false
+	}
+	c := el.Value.(*lruEntry).c
+	select {
+	case <-c.done:
+	default:
+		return nil, false
+	}
+	if c.err != nil {
+		return nil, false
+	}
+	r.lru.MoveToFront(el)
+	r.stats.MemHits++
+	return &c.res, true
+}
+
 // compute resolves one claimed cell: store load, then compile + simulate on
 // a miss, with the fresh result saved back.
 func (r *Runner) compute(e Experiment, opts RunOptions) (Result, error) {

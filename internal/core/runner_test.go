@@ -352,3 +352,43 @@ func TestParallelEachCancellation(t *testing.T) {
 		t.Errorf("cancelled RunAll still ran %d simulations", s.Runs)
 	}
 }
+
+// TestPeek: the non-blocking cached-cell lookup must hit only completed,
+// successful cells — absent and failed cells are misses that leave the
+// caller on the Run path — and a hit must count as a memory hit like Run.
+func TestPeek(t *testing.T) {
+	r := core.NewRunner(1)
+	e := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 8}
+	opts := core.RunOptions{SkipVerify: true}
+
+	if _, ok := r.Peek(e, opts); ok {
+		t.Fatal("Peek hit on a cold runner")
+	}
+	want, err := r.Run(context.Background(), e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Snapshot().MemHits
+	got, ok := r.Peek(e, opts)
+	if !ok {
+		t.Fatal("Peek missed a completed cell")
+	}
+	if got.Counters != want.Counters {
+		t.Errorf("Peek counters differ from Run: %+v vs %+v", got.Counters, want.Counters)
+	}
+	if after := r.Snapshot().MemHits; after != before+1 {
+		t.Errorf("Peek hit did not count as a memory hit: %d -> %d", before, after)
+	}
+	// Different options key a different cell: no false sharing.
+	if _, ok := r.Peek(e, core.RunOptions{SkipVerify: true, RecordTrace: true}); ok {
+		t.Error("Peek hit across a different RunOptions key")
+	}
+	// A failed cell is a Peek miss; Run still serves the cached error.
+	bad := core.Experiment{Target: "no-such-target", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 8}
+	if _, err := r.Run(context.Background(), bad, opts); err == nil {
+		t.Fatal("expected error for unknown target")
+	}
+	if _, ok := r.Peek(bad, opts); ok {
+		t.Error("Peek hit an errored cell")
+	}
+}

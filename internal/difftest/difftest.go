@@ -19,12 +19,14 @@
 //     a bounded allowance for overlap's prologue and dead final-iteration
 //     staging writes on tiny jobs),
 //
-// plus the simulator's own two-engine invariant (DESIGN.md §6) —
+// plus the simulator's own engine-equivalence invariant (DESIGN.md §6, §8) —
 //
 //   - every compiled program (baseline and each optimized pipeline)
-//     executes identically on the reference interpreter and the
-//     predecoded fast engine: same Counters, same final memory image,
-//     same summarized trace, same launch effects.
+//     executes identically on every registered simulator engine: the
+//     reference interpreter, the predecoded fast engine and the
+//     block-compiled engine must produce the same Counters, the same
+//     final memory image, the same summarized trace and the same
+//     launch effects.
 //
 // A failing case is a Divergence; the shrinker (shrink.go) reduces the
 // module while the divergence reproduces.
@@ -83,9 +85,10 @@ const (
 	KindConfigWrites
 	// KindCycles: the optimized pipeline ran slower than allowed.
 	KindCycles
-	// KindEngine: the fast simulator engine disagreed with the reference
-	// engine on the same compiled program (counters, final memory or
-	// summarized trace) — a simulator bug, not a compiler bug.
+	// KindEngine: an optimized simulator engine (fast or compiled)
+	// disagreed with the reference engine on the same compiled program
+	// (counters, final memory or summarized trace) — a simulator bug,
+	// not a compiler bug.
 	KindEngine
 )
 
@@ -157,9 +160,10 @@ type Options struct {
 	CycleSlack func(baseCycles uint64) uint64
 	// SkipEngineCrossCheck disables the standing simulator-engine
 	// equivalence invariant: by default every compiled program (baseline
-	// and each optimized pipeline) runs on both the reference and the
-	// fast engine, and any disagreement in Counters, final memory or the
-	// summarized trace is reported as a KindEngine divergence.
+	// and each optimized pipeline) runs on every registered engine —
+	// reference, fast and compiled — and any disagreement in Counters,
+	// final memory or the summarized trace is reported as a KindEngine
+	// divergence.
 	SkipEngineCrossCheck bool
 }
 
@@ -320,10 +324,10 @@ func CheckModule(t core.Target, m *ir.Module, prog irgen.Program, opts Options) 
 // Execute clones m, runs the pass pipeline, compiles and simulates it with
 // the program's inputs, returning the observation. On failure the Kind
 // reports which stage failed. With crossCheck set, the compiled program
-// additionally runs on the fast simulator engine, and any disagreement
-// with the reference observation (Counters, final memory, summarized
-// trace, launch effects) returns a KindEngine error alongside the still
-// valid reference Execution.
+// additionally runs on every non-reference simulator engine (fast and
+// compiled), and any disagreement with the reference observation
+// (Counters, final memory, summarized trace, launch effects) returns a
+// KindEngine error alongside the still valid reference Execution.
 func Execute(t core.Target, m *ir.Module, prog irgen.Program, pm *ir.PassManager, mutate func(*ir.Module) error, crossCheck bool) (Execution, Kind, error) {
 	clone := m.Clone()
 	if mutate != nil {
@@ -357,12 +361,17 @@ func Execute(t core.Target, m *ir.Module, prog irgen.Program, pm *ir.PassManager
 		return Execution{}, KindSimError, err
 	}
 	if crossCheck {
-		fast, err := simulate(t, prog, compiled, bases, sim.EngineFast, true)
-		if err != nil {
-			return ref, KindEngine, fmt.Errorf("fast engine failed where the reference engine succeeded: %w", err)
-		}
-		if err := equalExecutions(ref, fast); err != nil {
-			return ref, KindEngine, err
+		for _, eng := range sim.Engines {
+			if eng == sim.EngineRef {
+				continue
+			}
+			alt, err := simulate(t, prog, compiled, bases, eng, true)
+			if err != nil {
+				return ref, KindEngine, fmt.Errorf("%s engine failed where the reference engine succeeded: %w", eng, err)
+			}
+			if err := equalExecutions(ref, alt, eng.String()); err != nil {
+				return ref, KindEngine, err
+			}
 		}
 	}
 	return ref, KindNone, nil
@@ -402,25 +411,25 @@ func simulate(t core.Target, prog irgen.Program, compiled *riscv.Program, bases 
 	}, nil
 }
 
-// equalExecutions asserts the engine-equivalence invariant: the fast
+// equalExecutions asserts the engine-equivalence invariant: the named
 // engine must reproduce the reference observation exactly.
-func equalExecutions(ref, fast Execution) error {
-	if ref.Counters != fast.Counters {
-		return fmt.Errorf("engines disagree on counters: ref %+v, fast %+v", ref.Counters, fast.Counters)
+func equalExecutions(ref, got Execution, engine string) error {
+	if ref.Counters != got.Counters {
+		return fmt.Errorf("engines disagree on counters: ref %+v, %s %+v", ref.Counters, engine, got.Counters)
 	}
-	if len(ref.Launches) != len(fast.Launches) {
-		return fmt.Errorf("engines disagree on launch count: ref %d, fast %d", len(ref.Launches), len(fast.Launches))
+	if len(ref.Launches) != len(got.Launches) {
+		return fmt.Errorf("engines disagree on launch count: ref %d, %s %d", len(ref.Launches), engine, len(got.Launches))
 	}
 	for i := range ref.Launches {
-		if ref.Launches[i] != fast.Launches[i] {
-			return fmt.Errorf("engines disagree on launch %d: ref %+v, fast %+v", i, ref.Launches[i], fast.Launches[i])
+		if ref.Launches[i] != got.Launches[i] {
+			return fmt.Errorf("engines disagree on launch %d: ref %+v, %s %+v", i, ref.Launches[i], engine, got.Launches[i])
 		}
 	}
-	if addr, ok := firstMemDiff(ref.Mem, fast.Mem); ok {
-		return fmt.Errorf("engines disagree on memory at %#x: ref %#02x, fast %#02x", addr, ref.Mem[addr], fast.Mem[addr])
+	if addr, ok := firstMemDiff(ref.Mem, got.Mem); ok {
+		return fmt.Errorf("engines disagree on memory at %#x: ref %#02x, %s %#02x", addr, ref.Mem[addr], engine, got.Mem[addr])
 	}
-	if ref.TraceSummary != fast.TraceSummary {
-		return fmt.Errorf("engines disagree on trace summary: ref %+v, fast %+v", ref.TraceSummary, fast.TraceSummary)
+	if ref.TraceSummary != got.TraceSummary {
+		return fmt.Errorf("engines disagree on trace summary: ref %+v, %s %+v", ref.TraceSummary, engine, got.TraceSummary)
 	}
 	return nil
 }

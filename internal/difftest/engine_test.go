@@ -27,7 +27,7 @@ func cleanExecution() Execution {
 }
 
 func TestEqualExecutionsDiscrimination(t *testing.T) {
-	if err := equalExecutions(cleanExecution(), cleanExecution()); err != nil {
+	if err := equalExecutions(cleanExecution(), cleanExecution(), "fast"); err != nil {
 		t.Fatalf("identical executions reported unequal: %v", err)
 	}
 	cases := []struct {
@@ -45,7 +45,7 @@ func TestEqualExecutionsDiscrimination(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			fast := cleanExecution()
 			tc.mutate(&fast)
-			err := equalExecutions(cleanExecution(), fast)
+			err := equalExecutions(cleanExecution(), fast, "fast")
 			if err == nil {
 				t.Fatal("divergent executions reported equal")
 			}

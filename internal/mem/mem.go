@@ -9,9 +9,22 @@ import (
 	"fmt"
 )
 
+// pageShift sets the dirty-tracking granularity: 64 KiB pages keep the
+// bitmap tiny (1024 flags for a 64 MiB arena) while letting Reset skip the
+// untouched bulk of a large memory.
+const (
+	pageShift = 16
+	pageSize  = 1 << pageShift
+)
+
 // Memory is a flat little-endian byte-addressable memory.
 type Memory struct {
 	data []byte
+
+	// dirty flags pages that may have been written since New or the last
+	// Reset; Reset zeroes only those. The write accessors mark it, and
+	// Region marks its whole span because the returned view is writable.
+	dirty []bool
 
 	// BytesRead and BytesWritten count all traffic, host and accelerator.
 	BytesRead    uint64
@@ -20,7 +33,10 @@ type Memory struct {
 
 // New allocates a memory of the given size in bytes.
 func New(size int) *Memory {
-	return &Memory{data: make([]byte, size)}
+	return &Memory{
+		data:  make([]byte, size),
+		dirty: make([]bool, (size+pageSize-1)>>pageShift),
+	}
 }
 
 // Size returns the memory size in bytes.
@@ -41,6 +57,36 @@ func (m *Memory) Snapshot(from, to uint64) []byte {
 // ResetCounters zeroes the traffic counters.
 func (m *Memory) ResetCounters() {
 	m.BytesRead, m.BytesWritten = 0, 0
+}
+
+// Reset restores the memory to its initial all-zero state and clears the
+// traffic counters, zeroing only the pages written (or exposed through a
+// Region view) since construction or the previous Reset. It is the
+// reset-not-reallocate primitive behind pooled execution contexts:
+// resetting a lightly-used 64 MiB arena touches kilobytes, not megabytes.
+func (m *Memory) Reset() {
+	for p, d := range m.dirty {
+		if !d {
+			continue
+		}
+		lo := p << pageShift
+		hi := lo + pageSize
+		if hi > len(m.data) {
+			hi = len(m.data)
+		}
+		clear(m.data[lo:hi])
+		m.dirty[p] = false
+	}
+	m.BytesRead, m.BytesWritten = 0, 0
+}
+
+// mark flags the (at most two, for n <= pageSize) pages overlapping the
+// write [addr, addr+n). Branch-free and tiny so the write accessors stay
+// within the compiler's inlining budget; callers have already bounds-checked
+// [addr, addr+n) and guarantee n > 0.
+func (m *Memory) mark(addr, n uint64) {
+	m.dirty[addr>>pageShift] = true
+	m.dirty[(addr+n-1)>>pageShift] = true
 }
 
 // check panics unless [addr, addr+n) lies inside memory. The comparison is
@@ -74,6 +120,11 @@ func (m *Memory) boundsPanic(addr, n uint64) {
 // exactly.
 func (m *Memory) Region(addr, n uint64) []byte {
 	m.check(addr, n)
+	if n > 0 {
+		for p, last := addr>>pageShift, (addr+n-1)>>pageShift; p <= last; p++ {
+			m.dirty[p] = true
+		}
+	}
 	return m.data[addr : addr+n : addr+n]
 }
 
@@ -96,6 +147,7 @@ func (m *Memory) Read8(addr uint64) uint8 {
 // Write8 stores one byte.
 func (m *Memory) Write8(addr uint64, v uint8) {
 	m.check(addr, 1)
+	m.mark(addr, 1)
 	m.BytesWritten++
 	m.data[addr] = v
 }
@@ -110,6 +162,7 @@ func (m *Memory) Read16(addr uint64) uint16 {
 // Write16 stores a little-endian 16-bit value.
 func (m *Memory) Write16(addr uint64, v uint16) {
 	m.check(addr, 2)
+	m.mark(addr, 2)
 	m.BytesWritten += 2
 	binary.LittleEndian.PutUint16(m.data[addr:], v)
 }
@@ -124,6 +177,7 @@ func (m *Memory) Read32(addr uint64) uint32 {
 // Write32 stores a little-endian 32-bit value.
 func (m *Memory) Write32(addr uint64, v uint32) {
 	m.check(addr, 4)
+	m.mark(addr, 4)
 	m.BytesWritten += 4
 	binary.LittleEndian.PutUint32(m.data[addr:], v)
 }
@@ -138,6 +192,7 @@ func (m *Memory) Read64(addr uint64) uint64 {
 // Write64 stores a little-endian 64-bit value.
 func (m *Memory) Write64(addr uint64, v uint64) {
 	m.check(addr, 8)
+	m.mark(addr, 8)
 	m.BytesWritten += 8
 	binary.LittleEndian.PutUint64(m.data[addr:], v)
 }

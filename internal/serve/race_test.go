@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count gates skip under it (instrumentation allocates, and
+// sync.Pool deliberately drops entries to shake out lifetime bugs).
+const raceEnabled = true

@@ -1,0 +1,65 @@
+package serve
+
+// Pooled JSON response marshalling for the serving hot path. A cached
+// /v1/run cell costs one simulation the first time and one map lookup ever
+// after — at that point the per-request garbage is dominated by response
+// encoding (json.Marshal allocates a fresh body slice every call). The
+// responder pool amortizes that: each responder owns a reusable buffer and
+// a json.Encoder bound to it, so a steady-state cached response encodes
+// into existing capacity and allocates nothing.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// jsonResponder pairs a reusable buffer with an encoder bound to it.
+type jsonResponder struct {
+	buf bytesBuffer
+	enc *json.Encoder
+}
+
+// bytesBuffer is a minimal append-backed io.Writer; unlike bytes.Buffer it
+// exposes its backing slice for the trailing-newline trim below without any
+// method-call ceremony.
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+var responderPool = sync.Pool{
+	New: func() any {
+		jr := &jsonResponder{}
+		jr.enc = json.NewEncoder(&jr.buf)
+		return jr
+	},
+}
+
+// jsonContentType is assigned directly into response header maps: a shared
+// pre-built slice, never mutated, so the hot path skips the per-call slice
+// allocation of Header().Set.
+var jsonContentType = []string{"application/json"}
+
+// writeJSON writes v as a JSON response body byte-identical to
+// json.Marshal(v): Encoder.Encode produces exactly Marshal's bytes plus a
+// trailing newline, which is trimmed before writing. Pass a pointer so the
+// value is not copied into the interface. Content-Length is left for
+// net/http to derive (it buffers short handler responses and sets it
+// automatically); encoding errors are reported before anything is written,
+// so the caller can still emit an error status.
+func writeJSON(w http.ResponseWriter, v any) error {
+	jr := responderPool.Get().(*jsonResponder)
+	jr.buf.b = jr.buf.b[:0]
+	if err := jr.enc.Encode(v); err != nil {
+		responderPool.Put(jr)
+		return err
+	}
+	body := jr.buf.b[:len(jr.buf.b)-1] // trim Encode's trailing '\n'
+	w.Header()["Content-Type"] = jsonContentType
+	_, err := w.Write(body)
+	responderPool.Put(jr)
+	return err
+}

@@ -114,6 +114,33 @@ func TestRunByteIdentical(t *testing.T) {
 	}
 }
 
+// TestCachedFastPath: a repeat request for a completed cell takes the Peek
+// fast path — no new simulation, one memory hit, and a response body
+// byte-identical to the first answer (clients cannot tell the paths apart).
+func TestCachedFastPath(t *testing.T) {
+	sv, _, c := newTestServer(t, serve.Options{})
+	first, err := c.RunRaw(context.Background(), testExp, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sv.Runner().Snapshot()
+
+	second, err := c.RunRaw(context.Background(), testExp, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("cached response differs from cold response:\ncold   %s\ncached %s", first, second)
+	}
+	after := sv.Runner().Snapshot()
+	if after.Runs != before.Runs {
+		t.Errorf("repeat request ran %d new simulations, want 0", after.Runs-before.Runs)
+	}
+	if after.MemHits != before.MemHits+1 {
+		t.Errorf("MemHits went %d -> %d, want one memory hit for the cached answer", before.MemHits, after.MemHits)
+	}
+}
+
 // TestCoalescing fires 64 concurrent identical requests against a server
 // whose store is slow, so they all overlap in flight; exactly one
 // simulation (and one store load) may happen, and every response must be
@@ -433,6 +460,11 @@ func TestMetrics(t *testing.T) {
 		"cwserve_slots_busy 0",
 		`cwserve_latency_seconds_bucket{endpoint="run",le="+Inf"} 1`,
 		`cwserve_latency_seconds_count{endpoint="run"} 1`,
+		// Runtime memory gauges carry live values; assert presence only.
+		"cwserve_go_heap_alloc_bytes ",
+		"cwserve_go_heap_objects ",
+		"cwserve_go_gc_pause_seconds_total ",
+		"cwserve_go_gc_cycles_total ",
 	} {
 		if !strings.Contains(text, series) {
 			t.Errorf("metrics missing %q", series)

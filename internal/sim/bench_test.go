@@ -128,17 +128,26 @@ func BenchmarkSim_RefEngine_ALU(b *testing.B) {
 func BenchmarkSim_FastEngine_ALU(b *testing.B) {
 	benchEngine(b, sim.EngineFast, buildALULoop(benchIters), nil)
 }
+func BenchmarkSim_CompiledEngine_ALU(b *testing.B) {
+	benchEngine(b, sim.EngineCompiled, buildALULoop(benchIters), nil)
+}
 func BenchmarkSim_RefEngine_Mem(b *testing.B) {
 	benchEngine(b, sim.EngineRef, buildMemLoop(benchIters), nil)
 }
 func BenchmarkSim_FastEngine_Mem(b *testing.B) {
 	benchEngine(b, sim.EngineFast, buildMemLoop(benchIters), nil)
 }
+func BenchmarkSim_CompiledEngine_Mem(b *testing.B) {
+	benchEngine(b, sim.EngineCompiled, buildMemLoop(benchIters), nil)
+}
 func BenchmarkSim_RefEngine_Config(b *testing.B) {
 	benchEngine(b, sim.EngineRef, buildConfigLoop(benchIters), benchDevice{})
 }
 func BenchmarkSim_FastEngine_Config(b *testing.B) {
 	benchEngine(b, sim.EngineFast, buildConfigLoop(benchIters), benchDevice{})
+}
+func BenchmarkSim_CompiledEngine_Config(b *testing.B) {
+	benchEngine(b, sim.EngineCompiled, buildConfigLoop(benchIters), benchDevice{})
 }
 
 // BenchmarkSim_Decode isolates predecode cost (paid once per Run on the

@@ -1,0 +1,470 @@
+package sim
+
+// The compiled execution engine. Where the fast engine (fast.go) still
+// pays an inlined semantics switch, operand-field loads and register-file
+// bounds checks for every executed instruction, the compiled engine lowers
+// each maximal straight-line block (riscv.Decoded.Blocks) into a chain of
+// per-op closures at compile time:
+//
+//   - operands are pre-resolved to register-file *pointers* (writes to x0
+//     go to a private sink, so the hot path has no rd!=0 branch and no
+//     bounds checks),
+//   - immediates, shift amounts and branch targets are captured as
+//     closure constants,
+//   - loads and stores bind the width-specific memory accessor directly
+//     (Read64/Write8/...), skipping the ReadSigned/WriteSigned width
+//     switch, and
+//   - dispatch is direct threading: each closure executes its op and then
+//     calls straight into its successor's closure, so steady-state
+//     execution is closure-to-closure with no per-instruction switch and
+//     no pc arithmetic. Every call site has exactly one target (chains are
+//     fixed at compile time), so the indirect calls predict perfectly —
+//     unlike a single trampoline dispatch site cycling through the block's
+//     op sequence. The successor pc propagates up the return chain, and
+//     the nesting depth is bounded by the longest straight-line run in the
+//     program (static code, not executed-instruction count).
+//
+// Counter and trace identity with the reference engine is inherited from
+// the fast engine's argument (see fast.go): the outer loop here is the
+// fast engine's loop verbatim — the same O(1) per-block accounting delta
+// on entry, and the same shared helpers (charge, execPlain, custom,
+// csrWrite, csrRead) for device ops, ClassSync polls and limit-straddling
+// tails. Only the *mechanism* that executes a block's register/memory
+// semantics differs, and a chain entered at pc executes exactly the
+// BlockLen[pc] instructions the accounting charged. The differential
+// oracle (internal/difftest) cross-checks all three engines on every
+// fuzzed program.
+
+import (
+	"fmt"
+
+	"configwall/internal/mem"
+	"configwall/internal/riscv"
+)
+
+// opFn executes the remainder of a closure chain — this instruction's
+// register/memory semantics, then (by direct call) its successor's — and
+// returns the pc control resumes at after the chain.
+type opFn func() int
+
+// Compiled is a program lowered to machine-bound closure chains. The
+// lowering captures pointers into one specific Machine's register file and
+// memory, so a Compiled runs only on the machine (and memory) it was
+// compiled for; RunCompiled enforces the binding.
+type Compiled struct {
+	code     []riscv.DecodedInstr
+	costName string
+	mc       *Machine
+	mem      *mem.Memory
+	// ops[pc] is the chain entry for pc, nil outside batchable runs.
+	ops []opFn
+	// sink absorbs writes to x0, keeping Regs[0] hard-wired to zero
+	// without a per-write rd check.
+	sink int64
+}
+
+// Compile lowers a predecoded program into closure chains bound to this
+// machine. The program must have been decoded under the machine's own cost
+// model, and the returned Compiled must not outlive a swap of mc.Mem.
+func (mc *Machine) Compile(d *riscv.Decoded) (*Compiled, error) {
+	if name := mc.Cost.Name(); d.CostName != name {
+		return nil, fmt.Errorf("sim: program decoded for cost model %q cannot run on %q", d.CostName, name)
+	}
+	c := &Compiled{code: d.Instrs, costName: d.CostName, mc: mc, mem: mc.Mem, ops: make([]opFn, len(d.Instrs))}
+	// Build each run back to front so an instruction's closure can capture
+	// its successor's. Every index inside a run gets its own chain entry
+	// (suffix sharing: ops[pc+1] is both pc's continuation and a valid
+	// branch-entry point), so a branch into the middle of a run works
+	// exactly as it does on the fast engine.
+	for _, blk := range d.Blocks() {
+		start, last := int(blk.Start), int(blk.Start+blk.Len)-1
+		for pc := last; pc >= start; pc-- {
+			if pc < last {
+				if f := c.fuse(pc, last); f != nil {
+					c.ops[pc] = f
+					continue
+				}
+			}
+			c.ops[pc] = c.lower(pc, pc == last)
+		}
+	}
+	return c, nil
+}
+
+// fuse attempts to lower the pair (pc, pc+1) into one superinstruction
+// closure (fused.go). Both instructions must normalize onto the canonical
+// ALU kinds — branches, division, memory ops and NOP keep the single-op
+// chain path. ops[pc+1] still gets its own (unfused) entry, so a branch
+// into the middle of a run bypasses the pair without noticing it.
+func (c *Compiled) fuse(pc, last int) opFn {
+	k1, d1, a1, b1, ok := c.normalizeALU(pc)
+	if !ok {
+		return nil
+	}
+	if i2 := &c.code[pc+1]; i2.Op >= riscv.BEQ && i2.Op <= riscv.BGEU {
+		// A conditional branch ends the run (pc+1 == last), so the fused
+		// closure resolves the successor pc itself.
+		regs := &c.mc.Regs
+		x, y := &regs[i2.Rs1], &regs[i2.Rs2]
+		k2 := kBeq + uint8(i2.Op-riscv.BEQ)
+		t, ft := int(i2.Target), pc+2
+		if x == d1 {
+			return fusePairBrFwd(k1, d1, a1, b1, k2, y, t, ft)
+		}
+		return fusePairBr(k1, d1, a1, b1, k2, x, y, t, ft)
+	}
+	k2, d2, a2, b2, ok := c.normalizeALU(pc + 1)
+	if !ok {
+		return nil
+	}
+	if a2 == d1 && pc+2 <= last {
+		// Dependency chain: try to extend one more link into a triple.
+		if k3, d3, a3, b3, ok3 := c.normalizeALU(pc + 2); ok3 && a3 == d2 {
+			var next opFn
+			if pc+2 == last {
+				ft := pc + 3
+				next = func() int { return ft }
+			} else {
+				next = c.ops[pc+3]
+			}
+			return fuseTripleFwd(k1, d1, a1, b1, k2, d2, b2, k3, d3, b3, next)
+		}
+	}
+	var next opFn
+	if pc+1 == last {
+		ft := pc + 2
+		next = func() int { return ft }
+	} else {
+		next = c.ops[pc+2]
+	}
+	if a2 == d1 {
+		return fusePairFwd(k1, d1, a1, b1, k2, d2, b2, next)
+	}
+	return fusePair(k1, d1, a1, b1, k2, d2, a2, b2, next)
+}
+
+// normalizeALU maps the instruction at pc onto a canonical reg-reg ALU
+// kind, materializing immediates (and LI's implicit zero source) as
+// private constant cells so the fusion table needs no immediate variants.
+// The cells are write-once at compile time, so sharing them with the
+// machine's register file pointers is race-free. Immediate shift/compare
+// forms inherit the reg-reg semantics exactly: SLLI's imm&63 equals SLL
+// reading a cell holding imm, and SLTIU's unsigned compare equals SLTU
+// against the materialized immediate.
+func (c *Compiled) normalizeALU(pc int) (k uint8, d, a, b *int64, ok bool) {
+	i := &c.code[pc]
+	regs := &c.mc.Regs
+	d = &c.sink
+	if i.Rd != 0 {
+		d = &regs[i.Rd]
+	}
+	a = &regs[i.Rs1]
+	b = &regs[i.Rs2]
+	cell := func(v int64) *int64 { p := new(int64); *p = v; return p }
+	switch i.Op {
+	case riscv.ADD:
+		k = kAdd
+	case riscv.SUB:
+		k = kSub
+	case riscv.MUL:
+		k = kMul
+	case riscv.AND:
+		k = kAnd
+	case riscv.OR:
+		k = kOr
+	case riscv.XOR:
+		k = kXor
+	case riscv.SLL:
+		k = kSll
+	case riscv.SRL:
+		k = kSrl
+	case riscv.SLT:
+		k = kSlt
+	case riscv.SLTU:
+		k = kSltu
+	case riscv.ADDI:
+		k, b = kAdd, cell(i.Imm)
+	case riscv.ANDI:
+		k, b = kAnd, cell(i.Imm)
+	case riscv.ORI:
+		k, b = kOr, cell(i.Imm)
+	case riscv.XORI:
+		k, b = kXor, cell(i.Imm)
+	case riscv.SLLI:
+		k, b = kSll, cell(i.Imm)
+	case riscv.SRLI:
+		k, b = kSrl, cell(i.Imm)
+	case riscv.SLTIU:
+		k, b = kSltu, cell(i.Imm)
+	case riscv.LI:
+		k, a, b = kAdd, cell(0), cell(i.Imm)
+	default:
+		return 0, nil, nil, nil, false
+	}
+	return k, d, a, b, true
+}
+
+// lower builds the closure for the instruction at pc. last marks the final
+// instruction of its run: its closure (or its continuation) ends the chain
+// by returning the successor pc instead of calling onward.
+func (c *Compiled) lower(pc int, last bool) opFn {
+	i := &c.code[pc]
+	regs := &c.mc.Regs
+	a := &regs[i.Rs1]
+	b := &regs[i.Rs2]
+	d := &c.sink
+	if i.Rd != 0 {
+		d = &regs[i.Rd]
+	}
+	imm := i.Imm
+	m := c.mem
+
+	// Control flow always ends a run (riscv.Decode): the closure resolves
+	// the successor and drops back to the block loop.
+	switch i.Op {
+	case riscv.BEQ:
+		t, ft := int(i.Target), pc+1
+		return func() int {
+			if *a == *b {
+				return t
+			}
+			return ft
+		}
+	case riscv.BNE:
+		t, ft := int(i.Target), pc+1
+		return func() int {
+			if *a != *b {
+				return t
+			}
+			return ft
+		}
+	case riscv.BLT:
+		t, ft := int(i.Target), pc+1
+		return func() int {
+			if *a < *b {
+				return t
+			}
+			return ft
+		}
+	case riscv.BGE:
+		t, ft := int(i.Target), pc+1
+		return func() int {
+			if *a >= *b {
+				return t
+			}
+			return ft
+		}
+	case riscv.BLTU:
+		t, ft := int(i.Target), pc+1
+		return func() int {
+			if uint64(*a) < uint64(*b) {
+				return t
+			}
+			return ft
+		}
+	case riscv.BGEU:
+		t, ft := int(i.Target), pc+1
+		return func() int {
+			if uint64(*a) >= uint64(*b) {
+				return t
+			}
+			return ft
+		}
+	case riscv.JAL:
+		t := int(i.Target)
+		return func() int { return t }
+	}
+
+	// Straight-line op: execute, then call straight into the successor's
+	// closure. Each closure's call site has exactly one target (the chain
+	// is fixed at compile time), so the indirect calls predict perfectly —
+	// the property the whole scheme's speed rests on. At the end of the
+	// run the continuation just returns the fall-through pc.
+	var next opFn
+	if last {
+		ft := pc + 1
+		next = func() int { return ft }
+	} else {
+		next = c.ops[pc+1]
+	}
+	switch i.Op {
+	case riscv.NOP:
+		return next
+	case riscv.ADD:
+		return func() int { *d = *a + *b; return next() }
+	case riscv.SUB:
+		return func() int { *d = *a - *b; return next() }
+	case riscv.MUL:
+		return func() int { *d = *a * *b; return next() }
+	case riscv.DIVU:
+		return func() int {
+			if *b == 0 {
+				*d = -1
+			} else {
+				*d = int64(uint64(*a) / uint64(*b))
+			}
+			return next()
+		}
+	case riscv.REMU:
+		return func() int {
+			if *b == 0 {
+				*d = *a
+			} else {
+				*d = int64(uint64(*a) % uint64(*b))
+			}
+			return next()
+		}
+	case riscv.AND:
+		return func() int { *d = *a & *b; return next() }
+	case riscv.OR:
+		return func() int { *d = *a | *b; return next() }
+	case riscv.XOR:
+		return func() int { *d = *a ^ *b; return next() }
+	case riscv.SLL:
+		return func() int { *d = *a << (uint64(*b) & 63); return next() }
+	case riscv.SRL:
+		return func() int { *d = int64(uint64(*a) >> (uint64(*b) & 63)); return next() }
+	case riscv.SLT:
+		return func() int { *d = boolToInt(*a < *b); return next() }
+	case riscv.SLTU:
+		return func() int { *d = boolToInt(uint64(*a) < uint64(*b)); return next() }
+	case riscv.ADDI:
+		return func() int { *d = *a + imm; return next() }
+	case riscv.ANDI:
+		return func() int { *d = *a & imm; return next() }
+	case riscv.ORI:
+		return func() int { *d = *a | imm; return next() }
+	case riscv.XORI:
+		return func() int { *d = *a ^ imm; return next() }
+	case riscv.SLLI:
+		sh := uint64(imm) & 63
+		return func() int { *d = *a << sh; return next() }
+	case riscv.SRLI:
+		sh := uint64(imm) & 63
+		return func() int { *d = int64(uint64(*a) >> sh); return next() }
+	case riscv.SLTIU:
+		u := uint64(imm)
+		return func() int { *d = boolToInt(uint64(*a) < u); return next() }
+	case riscv.LI:
+		return func() int { *d = imm; return next() }
+	case riscv.LB:
+		return func() int { *d = int64(int8(m.Read8(uint64(*a + imm)))); return next() }
+	case riscv.LH:
+		return func() int { *d = int64(int16(m.Read16(uint64(*a + imm)))); return next() }
+	case riscv.LW:
+		return func() int { *d = int64(int32(m.Read32(uint64(*a + imm)))); return next() }
+	case riscv.LD:
+		return func() int { *d = int64(m.Read64(uint64(*a + imm))); return next() }
+	case riscv.SB:
+		return func() int { m.Write8(uint64(*a+imm), uint8(*b)); return next() }
+	case riscv.SH:
+		return func() int { m.Write16(uint64(*a+imm), uint16(*b)); return next() }
+	case riscv.SW:
+		return func() int { m.Write32(uint64(*a+imm), uint32(*b)); return next() }
+	case riscv.SD:
+		return func() int { m.Write64(uint64(*a+imm), uint64(*b)); return next() }
+	}
+	// Unreachable: riscv.Decode only marks batchable plain opcodes with a
+	// nonzero BlockLen, and every such opcode is lowered above.
+	panic(fmt.Sprintf("sim: cannot lower opcode %s", i.Op))
+}
+
+// RunCompiled executes a compiled program. Like Run, each call starts from
+// a clean clock, counters and trace; on error, Cycles reflects the time
+// reached. The program must have been compiled by this machine against its
+// current memory.
+func (mc *Machine) RunCompiled(c *Compiled) error {
+	if c.mc != mc {
+		return fmt.Errorf("sim: compiled program is bound to a different machine")
+	}
+	if c.mem != mc.Mem {
+		return fmt.Errorf("sim: compiled program is bound to a different memory")
+	}
+	if name := mc.Cost.Name(); c.costName != name {
+		return fmt.Errorf("sim: program compiled for cost model %q cannot run on %q", c.costName, name)
+	}
+	mc.reset()
+	limit := mc.MaxInstrs
+	if limit == 0 {
+		limit = 1 << 31
+	}
+	code := c.code
+	ops := c.ops
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(code) {
+			mc.Cycles = mc.now
+			return fmt.Errorf("sim: pc %d out of range (program has %d instructions)", pc, len(code))
+		}
+		ins := &code[pc]
+
+		// Fast path: account the whole straight-line block in O(1) — the
+		// same delta the fast engine applies — then run the closure chain.
+		// The limit guard keeps instruction-limit errors at exactly the
+		// reference engine's instruction boundary by diverting straddling
+		// blocks to the per-instruction path below.
+		if n := uint64(ins.BlockLen); n > 0 && mc.HostInstrs+n <= limit {
+			cyc := ins.BlockCycles
+			mc.HostInstrs += n
+			mc.HostCycles += cyc
+			mc.CalcCycles += cyc
+			mc.record(SegHostExec, mc.now, mc.now+cyc)
+			mc.now += cyc
+			pc = ops[pc]()
+			continue
+		}
+
+		if ins.Op == riscv.HALT {
+			// Drain the accelerator so total cycles include the tail; the
+			// drain is not a configuration-interface stall, so it does not
+			// count toward StallCycles.
+			if mc.now < mc.busyUntil {
+				mc.record(SegHostStall, mc.now, mc.busyUntil)
+				mc.now = mc.busyUntil
+			}
+			mc.Cycles = mc.now
+			return nil
+		}
+		if mc.HostInstrs >= limit {
+			mc.Cycles = mc.now
+			return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", limit)
+		}
+
+		switch ins.Op {
+		case riscv.CUSTOM:
+			if err := mc.custom(ins.Funct7, ins.Class, ins.Cost, mc.Regs[ins.Rs1], mc.Regs[ins.Rs2]); err != nil {
+				mc.Cycles = mc.now
+				return fmt.Errorf("sim: at pc %d (%s): %w", pc, ins, err)
+			}
+			pc++
+		case riscv.CSRRW:
+			if err := mc.csrWrite(uint32(ins.Imm), ins.Class, ins.Cost, mc.Regs[ins.Rs1]); err != nil {
+				mc.Cycles = mc.now
+				return fmt.Errorf("sim: at pc %d (%s): %w", pc, ins, err)
+			}
+			pc++
+		case riscv.CSRRS:
+			if err := mc.csrRead(uint32(ins.Imm), ins.Rd, ins.Class, ins.Cost); err != nil {
+				mc.Cycles = mc.now
+				return fmt.Errorf("sim: at pc %d (%s): %w", pc, ins, err)
+			}
+			pc++
+		default:
+			if !riscv.PlainOp(ins.Op) {
+				// Unknown opcode: same failure as the reference engine.
+				mc.Cycles = mc.now
+				return fmt.Errorf("sim: at pc %d (%s): unimplemented opcode %s", pc, ins, ins.Op)
+			}
+			// Plain instruction outside a batch: either its class needs a
+			// dedicated counter (ClassSync busy-poll branches) or the block
+			// would straddle the instruction limit. Execute one at a time
+			// with full per-instruction accounting.
+			mc.charge(ins.Class, ins.Cost, SegHostExec)
+			if mc.execPlain(ins) {
+				pc = int(ins.Target)
+			} else {
+				pc++
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"configwall/internal/mem"
+	"configwall/internal/riscv"
+	"configwall/internal/sim"
+)
+
+// TestCompiledFusionAliasing targets the superinstruction lowering
+// (fusePair/fusePairFwd/fuseTripleFwd/fusePairBr): every case where a
+// fused op reads a register its fused predecessor wrote, in every operand
+// position, must behave exactly like the unfused reference execution.
+// runBoth compares all engines, so each case is a three-way check.
+func TestCompiledFusionAliasing(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(a *riscv.Assembler)
+	}{
+		{name: "pair second operand reads first result", build: func(a *riscv.Assembler) {
+			a.Emit(riscv.Instr{Op: riscv.LI, Rd: 7, Imm: 11})
+			a.Emit(riscv.Instr{Op: riscv.ADD, Rd: 5, Rs1: 7, Rs2: 7})
+			a.Emit(riscv.Instr{Op: riscv.XOR, Rd: 6, Rs1: 7, Rs2: 5}) // b2 aliases d1
+		}},
+		{name: "fwd pair reads result on both sides", build: func(a *riscv.Assembler) {
+			a.Emit(riscv.Instr{Op: riscv.LI, Rd: 5, Imm: 13})
+			a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 5, Rs1: 5, Imm: 1})
+			a.Emit(riscv.Instr{Op: riscv.MUL, Rd: 6, Rs1: 5, Rs2: 5}) // a2 and b2 alias d1
+		}},
+		{name: "same destination written twice", build: func(a *riscv.Assembler) {
+			a.Emit(riscv.Instr{Op: riscv.LI, Rd: 5, Imm: 3})
+			a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 5, Rs1: 5, Imm: 10})
+			a.Emit(riscv.Instr{Op: riscv.SLLI, Rd: 5, Rs1: 5, Imm: 2})
+			a.Emit(riscv.Instr{Op: riscv.SRLI, Rd: 5, Rs1: 5, Imm: 1})
+		}},
+		{name: "triple chain with trailing branch", build: func(a *riscv.Assembler) {
+			a.Emit(riscv.Instr{Op: riscv.LI, Rd: 28, Imm: 5})
+			a.Label("top")
+			a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 5, Rs1: 28, Imm: 7})
+			a.Emit(riscv.Instr{Op: riscv.SLLI, Rd: 6, Rs1: 5, Imm: 3})
+			a.Emit(riscv.Instr{Op: riscv.XOR, Rd: 7, Rs1: 6, Rs2: 28})
+			a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 28, Rs1: 28, Imm: -1})
+			a.Emit(riscv.Instr{Op: riscv.BNE, Rs1: 28, Rs2: 0, Label: "top"})
+		}},
+		{name: "fused branch compares its own decrement", build: func(a *riscv.Assembler) {
+			a.Emit(riscv.Instr{Op: riscv.LI, Rd: 28, Imm: 4})
+			a.Label("top")
+			a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 28, Rs1: 28, Imm: -1})
+			a.Emit(riscv.Instr{Op: riscv.BNE, Rs1: 28, Rs2: 0, Label: "top"}) // x aliases d1
+		}},
+		{name: "fused branch result on both compare sides", build: func(a *riscv.Assembler) {
+			a.Emit(riscv.Instr{Op: riscv.LI, Rd: 5, Imm: 2})
+			a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 5, Rs1: 5, Imm: 1})
+			a.Emit(riscv.Instr{Op: riscv.BEQ, Rs1: 5, Rs2: 5, Label: "out"}) // x and y alias d1
+			a.Emit(riscv.Instr{Op: riscv.LI, Rd: 6, Imm: 99})
+			a.Label("out")
+			a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 7, Rs1: 5, Imm: 1})
+		}},
+		{name: "x0 destination inside fused pair", build: func(a *riscv.Assembler) {
+			a.Emit(riscv.Instr{Op: riscv.LI, Rd: 5, Imm: 21})
+			a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 0, Rs1: 5, Imm: 1}) // write to x0 dropped
+			a.Emit(riscv.Instr{Op: riscv.ADD, Rd: 6, Rs1: 0, Rs2: 5})  // x0 must read 0
+		}},
+		{name: "immediate normalization edge values", build: func(a *riscv.Assembler) {
+			a.Emit(riscv.Instr{Op: riscv.LI, Rd: 5, Imm: -1})
+			a.Emit(riscv.Instr{Op: riscv.SLLI, Rd: 6, Rs1: 5, Imm: 65}) // masked to 1
+			a.Emit(riscv.Instr{Op: riscv.SRLI, Rd: 7, Rs1: 5, Imm: 63})
+			a.Emit(riscv.Instr{Op: riscv.SLTIU, Rd: 8, Rs1: 5, Imm: -1}) // unsigned max
+			a.Emit(riscv.Instr{Op: riscv.SLT, Rd: 9, Rs1: 5, Rs2: 8})
+		}},
+		{name: "branch into middle of fused chain", build: func(a *riscv.Assembler) {
+			// The jump lands between two instructions the fall-through
+			// chain fused into one closure: the suffix entry at the landing
+			// pc must execute only the suffix.
+			a.Emit(riscv.Instr{Op: riscv.LI, Rd: 5, Imm: 1})
+			a.Emit(riscv.Instr{Op: riscv.JAL, Label: "mid"})
+			a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 5, Rs1: 5, Imm: 100})
+			a.Emit(riscv.Instr{Op: riscv.SLLI, Rd: 5, Rs1: 5, Imm: 1})
+			a.Label("mid")
+			a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 5, Rs1: 5, Imm: 7})
+			a.Emit(riscv.Instr{Op: riscv.XORI, Rd: 6, Rs1: 5, Imm: 0x3c})
+		}},
+		{name: "division splits fusion", build: func(a *riscv.Assembler) {
+			a.Emit(riscv.Instr{Op: riscv.LI, Rd: 5, Imm: 100})
+			a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 6, Rs1: 5, Imm: 7})
+			a.Emit(riscv.Instr{Op: riscv.DIVU, Rd: 7, Rs1: 6, Rs2: 5}) // unfusable
+			a.Emit(riscv.Instr{Op: riscv.REMU, Rd: 8, Rs1: 6, Rs2: 0}) // by-zero path
+			a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 9, Rs1: 8, Imm: 1})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runBoth(t, nil, 0, nil, assemble(t, tc.build))
+		})
+	}
+}
+
+// TestCompileRejectsForeignCostModel mirrors the fast engine's guard: a
+// program decoded under one cost model must not compile for another host.
+func TestCompileRejectsForeignCostModel(t *testing.T) {
+	p := assemble(t, func(a *riscv.Assembler) {
+		a.Emit(riscv.Instr{Op: riscv.NOP})
+	})
+	d := riscv.Decode(p, riscv.RocketCost())
+	mc := newMachine(nil) // FlatCost "unit"
+	if _, err := mc.Compile(d); err == nil || !strings.Contains(err.Error(), "cost model") {
+		t.Fatalf("want cost-model mismatch error, got %v", err)
+	}
+}
+
+// TestRunCompiledRejectsForeignBinding: closure chains capture register and
+// memory pointers, so running them on any other machine or after a memory
+// swap must fail loudly instead of silently touching the wrong state.
+func TestRunCompiledRejectsForeignBinding(t *testing.T) {
+	p := assemble(t, func(a *riscv.Assembler) {
+		a.Emit(riscv.Instr{Op: riscv.ADDI, Rd: 5, Rs1: 5, Imm: 1})
+	})
+	mc := newMachine(nil)
+	c, err := mc.Compile(riscv.Decode(p, mc.Cost))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := newMachine(nil)
+	if err := other.RunCompiled(c); err == nil || !strings.Contains(err.Error(), "different machine") {
+		t.Fatalf("want machine-binding error, got %v", err)
+	}
+	mc.Mem = mem.New(1 << 16)
+	if err := mc.RunCompiled(c); err == nil || !strings.Contains(err.Error(), "different memory") {
+		t.Fatalf("want memory-binding error, got %v", err)
+	}
+}
+
+// TestCompiledRunMemoization: Run must reuse the compiled form across calls
+// for the same program (the decode-once-run-many contract) and recompile
+// when the memory is swapped out from under it.
+func TestCompiledRunMemoization(t *testing.T) {
+	p := assemble(t, func(a *riscv.Assembler) {
+		a.Emit(riscv.Instr{Op: riscv.LI, Rd: 10, Imm: 0x100})
+		a.Emit(riscv.Instr{Op: riscv.LI, Rd: 5, Imm: 7})
+		a.Emit(riscv.Instr{Op: riscv.SD, Rs1: 10, Rs2: 5, Imm: 0})
+	})
+	mc := newMachine(nil)
+	mc.Engine = sim.EngineCompiled
+	for run := 0; run < 3; run++ {
+		if err := mc.Run(p); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if got := mc.Mem.Read64(0x100); got != 7 {
+			t.Fatalf("run %d: mem[0x100] = %d, want 7", run, got)
+		}
+	}
+	fresh := mem.New(1 << 16)
+	mc.Mem = fresh
+	if err := mc.Run(p); err != nil {
+		t.Fatalf("after memory swap: %v", err)
+	}
+	if got := fresh.Read64(0x100); got != 7 {
+		t.Fatalf("after memory swap: mem[0x100] = %d, want 7 (stale compiled binding?)", got)
+	}
+}
+
+// TestCompiledSteadyStateZeroAllocs is the tentpole's allocation gate: once
+// a program is compiled (first Run), subsequent runs on the compiled
+// engine's straight-line hot path must not allocate at all.
+func TestCompiledSteadyStateZeroAllocs(t *testing.T) {
+	p := buildALULoop(64)
+	mc := sim.NewMachine(mem.New(1<<16), riscv.RocketCost(), nil)
+	mc.Engine = sim.EngineCompiled
+	if err := mc.Run(p); err != nil { // compiles and memoizes
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := mc.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("compiled steady-state Run allocated %v allocs/op, want 0", avg)
+	}
+}

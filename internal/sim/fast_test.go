@@ -12,11 +12,11 @@ import (
 	"configwall/internal/sim"
 )
 
-// runBoth executes the same program on the reference and fast engines with
-// identical fresh state (memory, device, registers) and asserts that every
-// observable — error, registers, counters, memory image, and the recorded
-// trace segment-for-segment — is identical. It returns the reference
-// machine for extra assertions.
+// runBoth executes the same program on every engine with identical fresh
+// state (memory, device, registers) and asserts that every observable —
+// error, registers, counters, memory image, and the recorded trace
+// segment-for-segment — is identical to the reference engine's. It returns
+// the reference machine for extra assertions.
 func runBoth(t *testing.T, makeDev func() accel.Device, maxInstrs uint64, setup func(*sim.Machine), p *riscv.Program) *sim.Machine {
 	t.Helper()
 	machines := make(map[sim.Engine]*sim.Machine)
@@ -39,31 +39,36 @@ func runBoth(t *testing.T, makeDev func() accel.Device, maxInstrs uint64, setup 
 		machines[eng] = mc
 		mems[eng] = m
 	}
-	ref, fast := machines[sim.EngineRef], machines[sim.EngineFast]
-	refErr, fastErr := errs[sim.EngineRef], errs[sim.EngineFast]
-	if (refErr == nil) != (fastErr == nil) {
-		t.Fatalf("engines disagree on failure: ref=%v fast=%v", refErr, fastErr)
-	}
-	if refErr != nil && refErr.Error() != fastErr.Error() {
-		t.Errorf("error text differs:\nref:  %v\nfast: %v", refErr, fastErr)
-	}
-	if ref.Counters != fast.Counters {
-		t.Errorf("counters differ:\nref:  %+v\nfast: %+v", ref.Counters, fast.Counters)
-	}
-	if ref.Regs != fast.Regs {
-		t.Errorf("registers differ:\nref:  %v\nfast: %v", ref.Regs, fast.Regs)
-	}
-	if !reflect.DeepEqual(ref.Trace, fast.Trace) {
-		t.Errorf("traces differ:\nref:  %+v\nfast: %+v", ref.Trace, fast.Trace)
-	}
+	ref, refErr := machines[sim.EngineRef], errs[sim.EngineRef]
 	size := uint64(mems[sim.EngineRef].Size())
 	refMem := mems[sim.EngineRef].Snapshot(0, size)
-	fastMem := mems[sim.EngineFast].Snapshot(0, size)
-	if !reflect.DeepEqual(refMem, fastMem) {
-		for i := range refMem {
-			if refMem[i] != fastMem[i] {
-				t.Errorf("memory differs at %#x: ref %#02x fast %#02x", i, refMem[i], fastMem[i])
-				break
+	for _, eng := range sim.Engines {
+		if eng == sim.EngineRef {
+			continue
+		}
+		got, gotErr := machines[eng], errs[eng]
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("engines disagree on failure: ref=%v %s=%v", refErr, eng, gotErr)
+		}
+		if refErr != nil && refErr.Error() != gotErr.Error() {
+			t.Errorf("error text differs:\nref: %v\n%s: %v", refErr, eng, gotErr)
+		}
+		if ref.Counters != got.Counters {
+			t.Errorf("counters differ:\nref: %+v\n%s: %+v", ref.Counters, eng, got.Counters)
+		}
+		if ref.Regs != got.Regs {
+			t.Errorf("registers differ:\nref: %v\n%s: %v", ref.Regs, eng, got.Regs)
+		}
+		if !reflect.DeepEqual(ref.Trace, got.Trace) {
+			t.Errorf("traces differ:\nref: %+v\n%s: %+v", ref.Trace, eng, got.Trace)
+		}
+		gotMem := mems[eng].Snapshot(0, size)
+		if !reflect.DeepEqual(refMem, gotMem) {
+			for i := range refMem {
+				if refMem[i] != gotMem[i] {
+					t.Errorf("memory differs at %#x: ref %#02x %s %#02x", i, refMem[i], eng, gotMem[i])
+					break
+				}
 			}
 		}
 	}

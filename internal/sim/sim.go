@@ -101,7 +101,7 @@ type Segment struct {
 	End   uint64
 }
 
-// Engine selects a Machine execution engine. Both engines implement the
+// Engine selects a Machine execution engine. All engines implement the
 // same architectural and timing semantics and are continuously
 // cross-checked by the differential oracle (internal/difftest); they
 // differ only in how much work the hot loop does per executed instruction.
@@ -111,34 +111,45 @@ type Engine uint8
 const (
 	// EngineRef is the reference interpreter: one instruction at a time,
 	// cost model consulted per instruction. It is the semantics baseline
-	// the fast engine is verified against.
+	// the other engines are verified against.
 	EngineRef Engine = iota
 	// EngineFast executes a predecoded program form (riscv.Decode):
 	// pre-resolved branch targets, prefetched cycle costs, and
 	// basic-block-batched counter/trace accounting.
 	EngineFast
+	// EngineCompiled executes a closure-compiled form (Machine.Compile):
+	// each maximal straight-line block is lowered to a chain of per-op
+	// closures with pre-resolved register pointers, immediates and branch
+	// targets, so steady-state execution runs closure-to-closure with no
+	// per-instruction dispatch switch (see compiled.go).
+	EngineCompiled
 )
 
 func (e Engine) String() string {
-	if e == EngineFast {
+	switch e {
+	case EngineFast:
 		return "fast"
+	case EngineCompiled:
+		return "compiled"
 	}
 	return "ref"
 }
 
-// EngineByName parses an engine name ("ref" or "fast").
+// EngineByName parses an engine name ("ref", "fast" or "compiled").
 func EngineByName(name string) (Engine, error) {
 	switch name {
 	case "ref":
 		return EngineRef, nil
 	case "fast":
 		return EngineFast, nil
+	case "compiled":
+		return EngineCompiled, nil
 	}
 	return EngineRef, fmt.Errorf("sim: unknown engine %q (valid engines: %s)", name, strings.Join(EngineNames(), ", "))
 }
 
 // Engines lists the available engines.
-var Engines = []Engine{EngineRef, EngineFast}
+var Engines = []Engine{EngineRef, EngineFast, EngineCompiled}
 
 // EngineNames lists the parseable engine names in Engines order; commands
 // use it to build flag usage text and fail-fast error listings.
@@ -175,6 +186,14 @@ type Machine struct {
 	now       uint64
 	busyUntil uint64
 	lastJob   accel.Launch
+
+	// compiled memoizes the EngineCompiled lowering of the last program Run
+	// executed, so repeated runs of the same (unmutated) program skip
+	// decode and compile — the decode-once-run-many contract sweeps rely
+	// on. Invalidated when the program pointer, memory or cost model
+	// changes.
+	compiled     *Compiled
+	compiledProg *riscv.Program
 }
 
 // NewMachine builds a machine around the given memory, cost model and
@@ -213,10 +232,13 @@ func (mc *Machine) stallUntilIdle() {
 // reset clears all per-run state so a Machine can execute consecutive
 // programs without the first run's clock, counters or trace leaking into
 // the second's measurements. Registers are kept: callers set up arguments
-// before Run, and register contents carry no timing state.
+// before Run, and register contents carry no timing state. The trace is
+// truncated, not released, so a reused Machine (or a pooled trace buffer
+// assigned to mc.Trace before Run) records into its existing capacity —
+// callers that keep a run's trace beyond the next Run must copy it out.
 func (mc *Machine) reset() {
 	mc.Counters = Counters{}
-	mc.Trace = nil
+	mc.Trace = mc.Trace[:0]
 	mc.now = 0
 	mc.busyUntil = 0
 	mc.lastJob = accel.Launch{}
@@ -227,8 +249,20 @@ func (mc *Machine) reset() {
 // reusing a Machine is safe; on error, Cycles still reflects the time
 // reached so partial runs are not reported as zero-cycle.
 func (mc *Machine) Run(p *riscv.Program) error {
-	if mc.Engine == EngineFast {
+	switch mc.Engine {
+	case EngineFast:
 		return mc.RunDecoded(riscv.Decode(p, mc.Cost))
+	case EngineCompiled:
+		c := mc.compiled
+		if c == nil || mc.compiledProg != p || c.mem != mc.Mem || c.costName != mc.Cost.Name() {
+			var err error
+			c, err = mc.Compile(riscv.Decode(p, mc.Cost))
+			if err != nil {
+				return err
+			}
+			mc.compiled, mc.compiledProg = c, p
+		}
+		return mc.RunCompiled(c)
 	}
 	return mc.runRef(p)
 }

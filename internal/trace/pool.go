@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"sync"
+
+	"configwall/internal/sim"
+)
+
+// BufferPool recycles timeline segment buffers across simulation runs.
+// Traced sweeps record tens of thousands of segments per cell; without
+// reuse every run grows a fresh append chain through several reallocations.
+// The pool hands out zero-length slices that keep their previous capacity,
+// so a steady-state traced run appends without allocating.
+//
+// Ownership rule: a buffer obtained from Get is owned by exactly one run at
+// a time. Callers that publish a trace beyond the run (cached Results,
+// encoded responses) must copy the segments out before Put — after Put the
+// buffer may be handed to any concurrent run and overwritten.
+type BufferPool struct {
+	p sync.Pool
+}
+
+// Get returns an empty segment buffer, reusing a previously Put one (and
+// its capacity) when available.
+func (bp *BufferPool) Get() []sim.Segment {
+	if v := bp.p.Get(); v != nil {
+		return v.([]sim.Segment)
+	}
+	return nil
+}
+
+// Put truncates the buffer and recycles it. Putting nil is a no-op, so
+// callers can unconditionally return whatever Get gave them.
+func (bp *BufferPool) Put(buf []sim.Segment) {
+	if buf == nil {
+		return
+	}
+	bp.p.Put(buf[:0]) //nolint:staticcheck // slices are pointer-shaped; no boxing beyond the interface header
+}
+
+// Buffers is the shared default pool used by the experiment engine.
+var Buffers BufferPool

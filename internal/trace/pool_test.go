@@ -1,0 +1,55 @@
+package trace_test
+
+import (
+	"testing"
+
+	"configwall/internal/sim"
+	"configwall/internal/trace"
+)
+
+// TestBufferPoolReuse pins the pool's reuse contract: a returned buffer
+// comes back from Get with zero length (no stale segments from the previous
+// run are visible) but with its capacity retained, so steady-state recording
+// appends into existing storage instead of growing a fresh slice.
+func TestBufferPoolReuse(t *testing.T) {
+	var bp trace.BufferPool
+
+	// A cold pool hands out nil — the recorder's append grows it naturally.
+	if buf := bp.Get(); buf != nil {
+		t.Fatalf("cold Get = %v, want nil", buf)
+	}
+
+	// Under the race detector sync.Pool deliberately drops a fraction of
+	// Puts, so retry until a recycled buffer actually comes back.
+	var got []sim.Segment
+	capBefore := 0
+	for i := 0; i < 100 && got == nil; i++ {
+		buf := append([]sim.Segment(nil), sampleSegments()...)
+		capBefore = cap(buf)
+		bp.Put(buf)
+		got = bp.Get()
+	}
+	if got == nil {
+		t.Fatal("pool never recycled a buffer across 100 Put/Get cycles")
+	}
+	if len(got) != 0 {
+		t.Fatalf("recycled buffer has %d visible segments, want 0 (cross-cell trace leakage)", len(got))
+	}
+	if cap(got) != capBefore {
+		t.Errorf("recycled buffer capacity = %d, want %d (reset-not-reallocate)", cap(got), capBefore)
+	}
+
+	// The next run's segments must be exactly what it appends — nothing
+	// from the previous owner bleeds through.
+	got = append(got, sim.Segment{Kind: sim.SegAccelBusy, Start: 7, End: 9})
+	if len(got) != 1 || got[0].Start != 7 || got[0].End != 9 {
+		t.Errorf("recycled buffer contents wrong after append: %+v", got)
+	}
+
+	// Put(nil) must be a no-op, not poison the pool with a nil entry that
+	// Get would then hand out as a "recycled" buffer.
+	bp.Put(nil)
+	if buf := bp.Get(); buf != nil && cap(buf) == 0 {
+		t.Error("Put(nil) stored an empty buffer in the pool")
+	}
+}
