@@ -6,7 +6,13 @@
 // every registered simulator engine (reference interpreter, predecoded
 // fast engine and block-compiled engine, DESIGN.md §6, §8) and any
 // disagreement in counters, final memory or summarized trace is a
-// divergence — engine equivalence is a standing campaign invariant. Programs execute concurrently on the shared
+// divergence — engine equivalence is a standing campaign invariant. The
+// static config-state checker (internal/analysis) runs as a pre-oracle on
+// every pipeline: statically rejected cases are reported without
+// co-simulation, and every co-simulated case's dynamic outcome is
+// cross-checked against the static verdict — a contradiction
+// (static-disagree) fails the campaign even when no other divergence does.
+// Programs execute concurrently on the shared
 // experiment worker pool, but reports are input-ordered and byte-identical
 // across runs with the same flags.
 //
@@ -131,12 +137,26 @@ func runCampaign(tn string, seed int64, n, workers int, corpus string, noshrink,
 
 	var total irgen.Stats
 	invalid, divergent, genErrs := 0, 0, 0
+	proved, inconclusive, rejected, disagreements := 0, 0, 0, 0
 	for i := range results {
 		r := &results[i]
 		total.Setups += r.stats.Setups
 		total.Launches += r.stats.Launches
 		total.Loops += r.stats.Loops
 		total.Ifs += r.stats.Ifs
+		for _, s := range r.report.Static {
+			switch {
+			case s.Rejected:
+				rejected++
+			case s.Proved:
+				proved++
+			default:
+				inconclusive++
+			}
+			if s.Disagree {
+				disagreements++
+			}
+		}
 		switch {
 		case r.genErr != nil:
 			genErrs++
@@ -162,7 +182,9 @@ func runCampaign(tn string, seed int64, n, workers int, corpus string, noshrink,
 	checks := (n - invalid - genErrs) * len(difftest.OptimizationPipelines())
 	fmt.Printf("%s: %d programs (%d setups, %d launches, %d loops, %d branches), %d pipeline checks, %d invalid, %d generator errors, %d divergent\n",
 		tn, n, total.Setups, total.Launches, total.Loops, total.Ifs, checks, invalid, genErrs, divergent)
-	return invalid == 0 && divergent == 0 && genErrs == 0
+	fmt.Printf("%s: static verdicts: %d proved, %d inconclusive, %d rejected, %d disagreements\n",
+		tn, proved, inconclusive, rejected, disagreements)
+	return invalid == 0 && divergent == 0 && genErrs == 0 && disagreements == 0
 }
 
 // shrinkAndSave minimizes the first divergence of a failing program and

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExpandSkipsTestdata: the /... walk must find real packages but never
+// descend into testdata (the lint fixtures fail by design) or hidden
+// directories.
+func TestExpandSkipsTestdata(t *testing.T) {
+	dirs, err := expand([]string{"../../internal/lint/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundLint := false
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("expand descended into testdata: %s", d)
+		}
+		if filepath.Base(d) == "lint" {
+			foundLint = true
+		}
+	}
+	if !foundLint {
+		t.Fatalf("expand missed the lint package itself: %v", dirs)
+	}
+}
+
+// TestExpandSingleDir: a plain path names exactly one package directory.
+func TestExpandSingleDir(t *testing.T) {
+	dirs, err := expand([]string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || dirs[0] != "." {
+		t.Fatalf("expand(.) = %v", dirs)
+	}
+}
+
+// TestExpandIgnoresGoFileFreeDirs: a directory without non-test Go files
+// contributes nothing.
+func TestExpandIgnoresGoFileFreeDirs(t *testing.T) {
+	dirs, err := expand([]string{t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 0 {
+		t.Fatalf("expected no packages in an empty dir, got %v", dirs)
+	}
+}

@@ -3,9 +3,15 @@
 // result.
 //
 //	cwopt -p accfg-trace-states,accfg-dedup input.ir
+//	cwopt -analyze input.ir    # print per-launch abstract configs + bounds
 //	cwopt -list                # list available passes
 //	cwopt -help-ops            # list registered operations
 //	echo '...' | cwopt -p cse  # reads stdin when no file is given
+//
+// Every pipeline runs under the static config-state checker (-check,
+// on by default): after each pass the result is compared against the
+// pass's input, and a provable launch-configuration divergence aborts the
+// run. Use -check=false to reproduce a miscompile for debugging.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	_ "configwall/internal/dialects/rocc"
 	_ "configwall/internal/dialects/scf"
 
+	"configwall/internal/analysis"
 	"configwall/internal/core"
 	"configwall/internal/ir"
 	"configwall/internal/passes"
@@ -66,6 +73,8 @@ func main() {
 	list := flag.Bool("list", false, "list available passes")
 	helpOps := flag.Bool("help-ops", false, "list registered operations")
 	verify := flag.Bool("verify", true, "verify the IR between passes")
+	check := flag.Bool("check", true, "statically check each pass preserves launch configurations")
+	analyze := flag.Bool("analyze", false, "print the per-launch abstract configuration report and exit (after -p, if given)")
 	stats := flag.Bool("stats", false, "print per-pass op-count statistics to stderr")
 	flag.Parse()
 
@@ -106,6 +115,9 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	if *check {
+		pm.CheckEach = analysis.PassCheck
+	}
 	if err := pm.Run(m); err != nil {
 		fatal("%v", err)
 	}
@@ -113,6 +125,10 @@ func main() {
 		for _, line := range pm.Stats {
 			fmt.Fprintln(os.Stderr, line)
 		}
+	}
+	if *analyze {
+		fmt.Print(analysis.ReportString(m))
+		return
 	}
 	fmt.Print(ir.PrintModule(m))
 }

@@ -3,6 +3,10 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"configwall/internal/analysis"
+	"configwall/internal/dialects/arith"
+	"configwall/internal/ir"
 )
 
 // TestBuildPipelineUnknownPassListsValidNames: cwopt must reject unknown
@@ -55,6 +59,47 @@ func TestBuildPipelineEmptySpec(t *testing.T) {
 	}
 	if len(pm.Passes()) != 0 {
 		t.Fatalf("expected empty pipeline, got %v", pm.Passes())
+	}
+}
+
+// TestCheckEachAbortsMiscompile: with -check (the default) the driver wires
+// the static config-state checker into the pass manager; a pass that
+// provably changes a launch's configuration must abort the run.
+func TestCheckEachAbortsMiscompile(t *testing.T) {
+	src := `
+"builtin.module"() ({
+  "fnc.func"() ({
+    %0 = "arith.constant"() {value = 5 : i64} : () -> (i64)
+    %1 = "accfg.setup"(%0) {accelerator = "acc", fields = ["x"]} : (i64) -> (!accfg.state<"acc">)
+    %2 = "accfg.launch"(%1) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+    "accfg.await"(%2) : (!accfg.token<"acc">) -> ()
+    "fnc.return"() : () -> ()
+  }) {function_type = () -> (), sym_name = "main"} : () -> ()
+}) : () -> ()
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miscompile := ir.PassFunc{
+		PassName: "test-miscompile",
+		Fn: func(m *ir.Module) error {
+			m.Walk(func(op *ir.Op) {
+				if op.Name() == arith.OpConstant {
+					op.SetAttr("value", ir.IntAttr(6))
+				}
+			})
+			return nil
+		},
+	}
+	pm := ir.NewPassManager(miscompile)
+	pm.CheckEach = analysis.PassCheck
+	err = pm.Run(m)
+	if err == nil {
+		t.Fatal("miscompiling pass not aborted by the static checker")
+	}
+	if !strings.Contains(err.Error(), "test-miscompile") || !strings.Contains(err.Error(), "field x") {
+		t.Errorf("error does not identify pass and field: %v", err)
 	}
 }
 

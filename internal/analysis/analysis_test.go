@@ -1,0 +1,427 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"configwall/internal/dialects/accfg"
+	"configwall/internal/dialects/arith"
+	"configwall/internal/ir"
+)
+
+func parseIR(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func parsePassTestdata(t *testing.T, name string) *ir.Module {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "passes", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseIR(t, string(src))
+}
+
+func TestAbsValLattice(t *testing.T) {
+	cases := []struct {
+		a, b, want AbsVal
+	}{
+		{Bottom(), Const(3), Const(3)},
+		{Const(3), Const(3), Const(3)},
+		{Const(3), Const(4), Top()},
+		{Sym("x"), Sym("x"), Sym("x")},
+		{Sym("x"), Sym("y"), Top()},
+		{Const(3), Sym("x"), Top()},
+		{Top(), Const(3), Top()},
+	}
+	for _, c := range cases {
+		if got := c.a.Join(c.b); !got.Equal(c.want) {
+			t.Errorf("Join(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Join(c.a); !got.Equal(c.want) {
+			t.Errorf("Join(%s, %s) = %s, want %s (commuted)", c.b, c.a, got, c.want)
+		}
+	}
+	if !Const(3).ProvablyDifferent(Const(4)) || Const(3).ProvablyDifferent(Const(3)) {
+		t.Error("ProvablyDifferent wrong on constants")
+	}
+	if Sym("x").ProvablyDifferent(Sym("y")) {
+		t.Error("distinct symbols are not provably different")
+	}
+	if !Sym("x").ProvablyEqual(Sym("x")) || Sym("x").ProvablyEqual(Top()) {
+		t.Error("ProvablyEqual wrong on symbols")
+	}
+}
+
+const straightLine = `
+"builtin.module"() ({
+  "fnc.func"() ({
+    %0 = "arith.constant"() {value = 5 : i64} : () -> (i64)
+    %1 = "arith.constant"() {value = 9 : i64} : () -> (i64)
+    %2 = "accfg.setup"(%0, %1) {accelerator = "acc", fields = ["x", "y"]} : (i64, i64) -> (!accfg.state<"acc">)
+    %3 = "accfg.launch"(%2) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+    "accfg.await"(%3) : (!accfg.token<"acc">) -> ()
+    "fnc.return"() : () -> ()
+  }) {function_type = () -> (), sym_name = "main"} : () -> ()
+}) : () -> ()
+`
+
+func TestExploreStraightLine(t *testing.T) {
+	m := parseIR(t, straightLine)
+	s := Explore(m)
+	fp := s.funcs["main"]
+	if fp == nil || len(fp.inconclusive) > 0 {
+		t.Fatalf("exploration inconclusive: %v", fp)
+	}
+	if len(fp.paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(fp.paths))
+	}
+	ev := fp.paths[0].events
+	if len(ev) != 1 || ev[0].kind != evLaunch || ev[0].accel != "acc" {
+		t.Fatalf("events = %v, want one acc launch", ev)
+	}
+	if got := ev[0].fields.get("x"); !got.Equal(Const(5)) {
+		t.Errorf("launch sees x = %s, want 5", got)
+	}
+	if got := ev[0].fields.get("y"); !got.Equal(Const(9)) {
+		t.Errorf("launch sees y = %s, want 9", got)
+	}
+	// Never-written fields read as the hardware reset value.
+	if got := ev[0].fields.get("z"); !got.Equal(Const(0)) {
+		t.Errorf("unwritten field reads %s, want 0", got)
+	}
+}
+
+func TestCompareIdenticalProved(t *testing.T) {
+	m := parseIR(t, straightLine)
+	v := CompareModules(m, m.Clone())
+	if !v.Proved() {
+		t.Fatalf("self-comparison not proved: %s", v)
+	}
+}
+
+// mutateConstant rewrites the first arith.constant holding `from` to `to`.
+func mutateConstant(t *testing.T, m *ir.Module, from, to int64) {
+	t.Helper()
+	done := false
+	m.Walk(func(op *ir.Op) {
+		if done || op.Name() != arith.OpConstant {
+			return
+		}
+		if c, _ := op.IntAttrValue("value"); c == from {
+			op.SetAttr("value", ir.IntAttr(to))
+			done = true
+		}
+	})
+	if !done {
+		t.Fatalf("no constant %d found", from)
+	}
+}
+
+func TestCompareRejectsFieldChange(t *testing.T) {
+	m := parseIR(t, straightLine)
+	opt := m.Clone()
+	mutateConstant(t, opt, 9, 10)
+	v := CompareModules(m, opt)
+	if !v.Rejected() {
+		t.Fatalf("mutated field not rejected: %s", v)
+	}
+	if !strings.Contains(v.String(), "field y") {
+		t.Errorf("finding does not name the field: %s", v)
+	}
+}
+
+func TestCompareRejectsDroppedLaunch(t *testing.T) {
+	m := parseIR(t, straightLine)
+	opt := m.Clone()
+	opt.Walk(func(op *ir.Op) {
+		if op.Name() == accfg.OpAwait {
+			op.Erase()
+		}
+	})
+	opt.Walk(func(op *ir.Op) {
+		if op.Name() == accfg.OpLaunch {
+			op.Erase()
+		}
+	})
+	v := CompareModules(m, opt)
+	if !v.Rejected() {
+		t.Fatalf("dropped launch not rejected: %s", v)
+	}
+}
+
+const branchy = `
+"builtin.module"() ({
+  "fnc.func"() ({
+    ^(%p: i64):
+    %0 = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %1 = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %2 = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    %3 = "arith.cmpi"(%p, %0) {predicate = "ne"} : (i64, i64) -> (i1)
+    %4 = "scf.if"(%3) ({
+      %5 = "accfg.setup"(%1) {accelerator = "acc", fields = ["x"]} : (i64) -> (!accfg.state<"acc">)
+      "scf.yield"(%5) : (!accfg.state<"acc">) -> ()
+    }, {
+      %6 = "accfg.setup"(%2) {accelerator = "acc", fields = ["x"]} : (i64) -> (!accfg.state<"acc">)
+      "scf.yield"(%6) : (!accfg.state<"acc">) -> ()
+    }) : (i1) -> (!accfg.state<"acc">)
+    %7 = "accfg.launch"(%4) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+    "accfg.await"(%7) : (!accfg.token<"acc">) -> ()
+    "fnc.return"() : () -> ()
+  }) {function_type = (i64) -> (), sym_name = "main"} : () -> ()
+}) : () -> ()
+`
+
+func TestExploreForksOnSymbolicBranch(t *testing.T) {
+	m := parseIR(t, branchy)
+	s := Explore(m)
+	fp := s.funcs["main"]
+	if len(fp.inconclusive) > 0 {
+		t.Fatalf("inconclusive: %v", fp.inconclusive)
+	}
+	if len(fp.paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(fp.paths))
+	}
+	seen := map[int64]bool{}
+	for _, p := range fp.paths {
+		if len(p.events) != 1 {
+			t.Fatalf("path events = %v", p.events)
+		}
+		c, ok := p.events[0].fields.get("x").ConstValue()
+		if !ok {
+			t.Fatalf("x not constant on path %q", p.signature())
+		}
+		seen[c] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("branch values = %v, want {1, 2}", seen)
+	}
+	if v := CompareModules(m, m.Clone()); !v.Proved() {
+		t.Errorf("branchy self-comparison not proved: %s", v)
+	}
+}
+
+func TestExploreUnrollsConstantLoop(t *testing.T) {
+	m := parsePassTestdata(t, "overlap.ir")
+	s := Explore(m)
+	fp := s.funcs["overlap"]
+	if fp == nil {
+		t.Fatal("function not explored")
+	}
+	if len(fp.inconclusive) > 0 {
+		t.Fatalf("inconclusive: %v", fp.inconclusive)
+	}
+	if len(fp.paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(fp.paths))
+	}
+	ev := fp.paths[0].events
+	if len(ev) != 6 {
+		t.Fatalf("events = %d, want 6 launches", len(ev))
+	}
+	// Iteration i commits addr = base + 128*i: symbolic in base, distinct
+	// canonical keys per iteration, len constant throughout.
+	for i, e := range ev {
+		if e.kind != evLaunch {
+			t.Fatalf("event %d is %s, want launch", i, e)
+		}
+		if got := e.fields.get("len"); !got.Equal(Const(128)) {
+			t.Errorf("iteration %d len = %s, want 128", i, got)
+		}
+	}
+	if ev[0].fields.get("addr").Equal(ev[1].fields.get("addr")) {
+		t.Error("distinct iterations must see distinct addr keys")
+	}
+}
+
+func TestCompareCatchesStagingReorderAcrossLaunch(t *testing.T) {
+	// Base: configure x=1, launch, configure x=2, launch.
+	// Broken optimization: both setups hoisted above the first launch, so
+	// launch #0 commits x=2 instead of x=1.
+	base := parseIR(t, `
+"builtin.module"() ({
+  "fnc.func"() ({
+    %0 = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %1 = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    %2 = "accfg.setup"(%0) {accelerator = "acc", fields = ["x"]} : (i64) -> (!accfg.state<"acc">)
+    %3 = "accfg.launch"(%2) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+    "accfg.await"(%3) : (!accfg.token<"acc">) -> ()
+    %4 = "accfg.setup"(%2, %1) {accelerator = "acc", fields = ["x"], in_state} : (!accfg.state<"acc">, i64) -> (!accfg.state<"acc">)
+    %5 = "accfg.launch"(%4) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+    "accfg.await"(%5) : (!accfg.token<"acc">) -> ()
+    "fnc.return"() : () -> ()
+  }) {function_type = () -> (), sym_name = "main"} : () -> ()
+}) : () -> ()
+`)
+	opt := parseIR(t, `
+"builtin.module"() ({
+  "fnc.func"() ({
+    %0 = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %1 = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    %2 = "accfg.setup"(%0) {accelerator = "acc", fields = ["x"]} : (i64) -> (!accfg.state<"acc">)
+    %4 = "accfg.setup"(%2, %1) {accelerator = "acc", fields = ["x"], in_state} : (!accfg.state<"acc">, i64) -> (!accfg.state<"acc">)
+    %3 = "accfg.launch"(%2) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+    "accfg.await"(%3) : (!accfg.token<"acc">) -> ()
+    %5 = "accfg.launch"(%4) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+    "accfg.await"(%5) : (!accfg.token<"acc">) -> ()
+    "fnc.return"() : () -> ()
+  }) {function_type = () -> (), sym_name = "main"} : () -> ()
+}) : () -> ()
+`)
+	v := CompareModules(base, opt)
+	if !v.Rejected() {
+		t.Fatalf("reordered staging write across launch not rejected: %s", v)
+	}
+}
+
+func TestPassCheck(t *testing.T) {
+	m := parseIR(t, straightLine)
+	if err := PassCheck("canonicalize", m, m.Clone()); err != nil {
+		t.Fatalf("identity pass rejected: %v", err)
+	}
+	bad := m.Clone()
+	mutateConstant(t, bad, 5, 6)
+	err := PassCheck("canonicalize", m, bad)
+	if err == nil {
+		t.Fatal("mutated module accepted")
+	}
+	if _, ok := err.(*RejectError); !ok {
+		t.Fatalf("error is %T, want *RejectError", err)
+	}
+	// Lowering passes are exempt: they translate accfg away by design.
+	if err := PassCheck("lower-gemmini", m, bad); err != nil {
+		t.Fatalf("lowering pass not exempt: %v", err)
+	}
+}
+
+func TestStaticBounds(t *testing.T) {
+	// sink.ir: loop 0..4 step 1 = 4 iterations, each with a branch setup
+	// (1 field either arm), a 2-field setup, and a launch (1 job + 1 write).
+	m := parsePassTestdata(t, "sink.ir")
+	b := StaticBounds(m)
+	if b.MinLaunches != 4 {
+		t.Errorf("MinLaunches = %d, want 4", b.MinLaunches)
+	}
+	if b.MinConfigInstrs != 16 {
+		t.Errorf("MinConfigInstrs = %d, want 16", b.MinConfigInstrs)
+	}
+	// hoist.ir: 8 iterations x (3-field setup + launch).
+	b = StaticBounds(parsePassTestdata(t, "hoist.ir"))
+	if b.MinLaunches != 8 || b.MinConfigInstrs != 32 {
+		t.Errorf("hoist bounds = %+v, want {8 32}", b)
+	}
+}
+
+func TestSummarizeFlow(t *testing.T) {
+	m := parsePassTestdata(t, "sink.ir")
+	sum := Summarize(m)
+	if len(sum.Funcs) != 1 || len(sum.Funcs[0].Launches) != 1 {
+		t.Fatalf("summary shape = %+v", sum)
+	}
+	l := sum.Funcs[0].Launches[0]
+	// The trailing setup rewrites x=1 and y=7 on every path, so the launch
+	// configuration is constant despite the branch underneath.
+	if got := l.Fields.get("x"); !got.Equal(Const(1)) {
+		t.Errorf("x = %s, want 1", got)
+	}
+	if got := l.Fields.get("y"); !got.Equal(Const(7)) {
+		t.Errorf("y = %s, want 7", got)
+	}
+}
+
+// launchedProblem is a second, minimal client of the generic Forward solver
+// (its existence keeps the solver honestly reusable): "has the accelerator
+// possibly been launched by this point?".
+type launchedProblem struct{}
+
+func (launchedProblem) Clone(s bool) bool               { return s }
+func (launchedProblem) Join(a, b bool) bool             { return a || b }
+func (launchedProblem) Equal(a, b bool) bool            { return a == b }
+func (launchedProblem) EnterLoop(_ *ir.Op, s bool) bool { return s }
+func (launchedProblem) ExitLoop(_ *ir.Op, s bool) bool  { return s }
+func (launchedProblem) ExitIf(_ *ir.Op, a, b bool) bool { return a || b }
+func (launchedProblem) Transfer(op *ir.Op, s bool) bool {
+	return s || op.Name() == accfg.OpLaunch
+}
+
+func TestForwardSolverReuse(t *testing.T) {
+	m := parsePassTestdata(t, "sink.ir")
+	for _, f := range m.Funcs() {
+		if got := Forward[bool](launchedProblem{}, f.Region(0).Block(), false); !got {
+			t.Error("launch inside loop not reached")
+		}
+	}
+	m2 := parseIR(t, `
+"builtin.module"() ({
+  "fnc.func"() ({
+    "fnc.return"() : () -> ()
+  }) {function_type = () -> (), sym_name = "empty"} : () -> ()
+}) : () -> ()
+`)
+	for _, f := range m2.Funcs() {
+		if got := Forward[bool](launchedProblem{}, f.Region(0).Block(), false); got {
+			t.Error("empty function reported a launch")
+		}
+	}
+}
+
+func TestInterferenceQueries(t *testing.T) {
+	m := parsePassTestdata(t, "sink.ir")
+	var setup, launch, innerSetup *ir.Op
+	m.Walk(func(op *ir.Op) {
+		switch op.Name() {
+		case accfg.OpSetup:
+			if op.ParentOp().Name() == "scf.if" && innerSetup == nil {
+				innerSetup = op
+			}
+			if op.ParentOp().Name() == "scf.for" {
+				setup = op
+			}
+		case accfg.OpLaunch:
+			launch = op
+		}
+	})
+	if setup == nil || launch == nil || innerSetup == nil {
+		t.Fatal("testdata shape changed")
+	}
+	if !TouchesStaging(setup, "acc") || !TouchesStaging(launch, "acc") {
+		t.Error("setup/launch must touch acc staging")
+	}
+	if TouchesStaging(setup, "other") {
+		t.Error("setup touches a different accelerator's staging")
+	}
+	// The branch setup sits before the launch in the loop body: reachable
+	// both as a later sibling and via the loop's wrap-around.
+	if !LaunchReachableAfter(innerSetup.ParentOp(), "acc") {
+		t.Error("launch after the branch not seen")
+	}
+	// The await follows the launch in block order, but the enclosing loop
+	// wraps around to the launch on the next iteration.
+	await := launch.Next()
+	if await == nil || await.Name() != accfg.OpAwait {
+		t.Fatal("await not directly after launch")
+	}
+	if !LaunchReachableAfter(await, "acc") {
+		t.Error("wrap-around launch not seen from the await")
+	}
+	// After the loop no launch remains reachable.
+	var loop *ir.Op
+	m.Walk(func(op *ir.Op) {
+		if op.Name() == "scf.for" {
+			loop = op
+		}
+	})
+	ret := loop.Next()
+	if ret == nil || LaunchReachableAfter(ret, "acc") {
+		t.Error("no launch is reachable after the loop")
+	}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"configwall/internal/dialects/accfg"
+	"configwall/internal/dialects/arith"
+	"configwall/internal/dialects/scf"
+	"configwall/internal/ir"
+)
+
+// Bounds are static lower bounds on the configuration traffic a program
+// must generate when executed: at least MinLaunches accelerator jobs and at
+// least MinConfigInstrs writes on the configuration interface (setup
+// traffic plus the one interface write each launch command itself is).
+// They are sound against the simulator's counters — any execution satisfies
+// counters >= bounds — because unknown-trip loops and branches contribute
+// the minimum over their outcomes (zero, or the cheaper arm).
+type Bounds struct {
+	MinLaunches     int
+	MinConfigInstrs int
+}
+
+func (b Bounds) add(o Bounds) Bounds {
+	return Bounds{b.MinLaunches + o.MinLaunches, b.MinConfigInstrs + o.MinConfigInstrs}
+}
+
+func (b Bounds) scale(n int) Bounds {
+	return Bounds{b.MinLaunches * n, b.MinConfigInstrs * n}
+}
+
+func (b Bounds) min(o Bounds) Bounds {
+	out := b
+	if o.MinLaunches < out.MinLaunches {
+		out.MinLaunches = o.MinLaunches
+	}
+	if o.MinConfigInstrs < out.MinConfigInstrs {
+		out.MinConfigInstrs = o.MinConfigInstrs
+	}
+	return out
+}
+
+// StaticBounds computes the module's configuration-traffic lower bounds:
+// the sum over its functions (difftest programs have a single entry
+// function, so the sum is the entry's bound).
+func StaticBounds(m *ir.Module) Bounds {
+	var b Bounds
+	for _, f := range m.Funcs() {
+		b = b.add(boundsBlock(f.Region(0).Block()))
+	}
+	return b
+}
+
+func boundsBlock(blk *ir.Block) Bounds {
+	var b Bounds
+	for op := blk.First(); op != nil; op = op.Next() {
+		switch op.Name() {
+		case accfg.OpSetup:
+			s, _ := accfg.AsSetup(op)
+			b.MinConfigInstrs += configInstrsFor(s.Accelerator(), s.FieldNames())
+		case accfg.OpLaunch:
+			b.MinLaunches++
+			b.MinConfigInstrs++ // the launch command is itself one interface write
+		case scf.OpFor:
+			if trips := minTripCount(op); trips > 0 {
+				b = b.add(boundsBlock(op.Region(0).Block()).scale(trips))
+			}
+		case scf.OpIf:
+			b = b.add(boundsBlock(op.Region(0).Block()).min(boundsBlock(op.Region(1).Block())))
+		}
+	}
+	return b
+}
+
+// minTripCount returns a lower bound on a loop's trip count: the exact
+// count when bounds and step are constants, zero otherwise.
+func minTripCount(op *ir.Op) int {
+	lb, lbOK := arith.ConstantValue(op.Operand(0))
+	ub, ubOK := arith.ConstantValue(op.Operand(1))
+	step, stepOK := arith.ConstantValue(op.Operand(2))
+	if !lbOK || !ubOK || !stepOK || step <= 0 || ub <= lb {
+		return 0
+	}
+	return int((ub - lb + step - 1) / step)
+}

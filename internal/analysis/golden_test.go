@@ -1,0 +1,43 @@
+package analysis
+
+// Golden tests for the `cwopt -analyze` report: the rendered flow summary
+// of the pass-pipeline testdata modules must stay byte-stable, pinning both
+// the abstract domain's canonical value rendering and the bounds analysis.
+// Regenerate with:
+//
+//	go run ./cmd/cwopt -analyze internal/passes/testdata/<name>.ir \
+//	    > internal/analysis/testdata/<name>.analyze.golden
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAnalyzeReportGolden(t *testing.T) {
+	for _, name := range []string{"hoist", "overlap", "sink"} {
+		t.Run(name, func(t *testing.T) {
+			m := parsePassTestdata(t, name+".ir")
+			got := ReportString(m)
+			wantBytes, err := os.ReadFile(filepath.Join("testdata", name+".analyze.golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(wantBytes) {
+				t.Errorf("report drift for %s.ir:\n--- got ---\n%s--- want ---\n%s", name, got, wantBytes)
+			}
+		})
+	}
+}
+
+// TestAnalyzeReportDeterministic guards the map-heavy summary against
+// iteration-order leaks: two fresh runs must render identically.
+func TestAnalyzeReportDeterministic(t *testing.T) {
+	m := parsePassTestdata(t, "sink.ir")
+	first := ReportString(m)
+	for i := 0; i < 8; i++ {
+		if got := ReportString(m.Clone()); got != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}

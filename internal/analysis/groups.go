@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"configwall/internal/accel/gemmini"
+	"configwall/internal/accel/opengemm"
+)
+
+// fieldGroups returns the physical write granularity of an accelerator's
+// configuration interface: each inner slice is one set of fields that share
+// a single configuration instruction. On Gemmini's bit-packed RoCC
+// interface one instruction rewrites a whole register pair, so a setup
+// touching any member of a group rewrites every member (the lowering
+// re-materializes the mates from its own static knowledge — knowledge this
+// analysis must not assume, so the abstract interpreter degrades untouched
+// mates to ⊤, the group-atomic join of DESIGN.md §9). OpenGeMM's CSR port
+// writes one field per instruction; unknown accelerators (hand-written test
+// modules) are treated field-granular as well.
+func fieldGroups(accelerator string) [][]string {
+	switch accelerator {
+	case gemmini.Name:
+		var out [][]string
+		for _, ci := range gemmini.Sequence {
+			if ci.Launch || len(ci.Slots) == 0 {
+				continue
+			}
+			g := make([]string, 0, len(ci.Slots))
+			for _, slot := range ci.Slots {
+				g = append(g, slot.Field)
+			}
+			out = append(out, g)
+		}
+		return out
+	case opengemm.Name:
+		return nil // one field per CSR: field-granular
+	}
+	return nil
+}
+
+// groupMates returns, for every field of the accelerator, the other fields
+// sharing its configuration instruction. Fields without packed mates map to
+// nil.
+func groupMates(accelerator string) map[string][]string {
+	mates := map[string][]string{}
+	for _, g := range fieldGroups(accelerator) {
+		for _, f := range g {
+			for _, other := range g {
+				if other != f {
+					mates[f] = append(mates[f], other)
+				}
+			}
+		}
+	}
+	return mates
+}
+
+// configInstrsFor returns how many configuration instructions the lowering
+// emits for one setup writing the given fields: the number of distinct
+// instruction groups touched (bit-packed interfaces), or one per field on
+// field-granular ports. Used by the static bounds analysis; exact for the
+// two in-tree lowerings, and a valid lower bound for anything else.
+func configInstrsFor(accelerator string, fields []string) int {
+	groups := fieldGroups(accelerator)
+	if len(groups) == 0 {
+		return len(fields)
+	}
+	group := map[string]int{}
+	for gi, g := range groups {
+		for _, f := range g {
+			group[f] = gi
+		}
+	}
+	touched := map[int]bool{}
+	n := 0
+	for _, f := range fields {
+		gi, ok := group[f]
+		if !ok {
+			n++ // unknown field: at least one write
+			continue
+		}
+		if !touched[gi] {
+			touched[gi] = true
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"configwall/internal/dialects/accfg"
+	"configwall/internal/dialects/fnc"
+	"configwall/internal/dialects/memref"
+	"configwall/internal/dialects/scf"
+	"configwall/internal/ir"
+)
+
+// Staging/memref interference analysis: the conservative queries the
+// overlap pass's pipelining and code-motion guards are built on. Each
+// answers "may this op interact with state the rewrite is about to
+// reorder?" — erring towards yes. The four historical overlap soundness
+// bugs (DESIGN.md §5, §9) were all missing instances of these checks, so
+// they live here, shared between the transformation guards and the static
+// checker's regression tests.
+
+// TouchesStaging reports whether op writes or commits the named
+// accelerator's staging registers: a setup writes them, a launch commits
+// them. Such ops pin any same-accelerator setup behind them — hopping a
+// setup over another setup reorders configuration writes, and hopping it
+// over a launch makes that launch commit the moved setup's values instead
+// of the configuration it launched with in program order.
+func TouchesStaging(op *ir.Op, accelerator string) bool {
+	if s, ok := accfg.AsSetup(op); ok {
+		return s.Accelerator() == accelerator
+	}
+	if l, ok := accfg.AsLaunch(op); ok {
+		return l.Accelerator() == accelerator
+	}
+	return false
+}
+
+// HostMemoryOp reports whether op is host memory traffic (memref
+// load/store). The accelerator reads and writes main memory at launch
+// time, and there is no alias analysis between host accesses and job
+// buffers, so any host memory op conservatively interferes with moving a
+// launch across it.
+func HostMemoryOp(op *ir.Op) bool {
+	return op.Name() == memref.OpLoad || op.Name() == memref.OpStore
+}
+
+// SubtreePipelineHazard reports whether the subtree rooted at op contains
+// anything loop software-pipelining cannot safely reorder around: any
+// accfg op (a nested launch would commit the rotated setup's
+// next-iteration configuration; a nested setup/await breaks the
+// one-job-in-flight shape) or any host memory op (the launch moving to the
+// top of the body reorders the device's memory effects with it).
+func SubtreePipelineHazard(root *ir.Op) bool {
+	hazard := false
+	ir.Walk(root, func(o *ir.Op) {
+		switch o.Name() {
+		case accfg.OpSetup, accfg.OpLaunch, accfg.OpAwait:
+			hazard = true
+		default:
+			if HostMemoryOp(o) {
+				hazard = true
+			}
+		}
+	})
+	return hazard
+}
+
+// LaunchReachableAfter reports whether a launch of the given accelerator
+// outside the subtree rooted at op can execute after op's subtree ran: it
+// appears later in the enclosing function's pre-order, or it shares an
+// enclosing scf.for with op (in which case the next enclosing iteration
+// wraps around to it). Software pipelining leaves the *next* iteration's
+// phantom configuration in the staging registers when its loop exits; any
+// launch reachable afterwards would commit that phantom state instead of
+// the last real configuration, so the rewrite must bail when this reports
+// true.
+func LaunchReachableAfter(op *ir.Op, accelerator string) bool {
+	// Find the enclosing function (or topmost ancestor).
+	root := op
+	for p := root.ParentOp(); p != nil; p = p.ParentOp() {
+		root = p
+		if p.Name() == fnc.OpFunc {
+			break
+		}
+	}
+	// Pre-order positions over the function: an op in an enclosing block
+	// after op, or a later sibling subtree, gets a larger position.
+	pos := map[*ir.Op]int{}
+	n := 0
+	ir.Walk(root, func(o *ir.Op) {
+		pos[o] = n
+		n++
+	})
+	// Enclosing scf.for ancestors of op.
+	var enclosingLoops []*ir.Op
+	for p := op.ParentOp(); p != nil; p = p.ParentOp() {
+		if p.Name() == scf.OpFor {
+			enclosingLoops = append(enclosingLoops, p)
+		}
+	}
+	unsafe := false
+	ir.Walk(root, func(o *ir.Op) {
+		l, ok := accfg.AsLaunch(o)
+		if !ok || l.Accelerator() != accelerator || op == o || op.IsAncestorOf(o) {
+			return
+		}
+		if pos[o] > pos[op] {
+			unsafe = true
+			return
+		}
+		for _, enc := range enclosingLoops {
+			if enc.IsAncestorOf(o) {
+				unsafe = true
+				return
+			}
+		}
+	})
+	return unsafe
+}

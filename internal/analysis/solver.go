@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"configwall/internal/dialects/scf"
+	"configwall/internal/ir"
+)
+
+// ForwardProblem describes one forward dataflow problem over the
+// structured accfg/scf region tree for the Forward solver. S is the
+// join-semilattice state; all methods may mutate and return their argument
+// (the solver clones at every control-flow split).
+type ForwardProblem[S any] interface {
+	// Clone deep-copies a state.
+	Clone(s S) S
+	// Join computes the least upper bound of two states.
+	Join(a, b S) S
+	// Equal reports lattice-element equality (fixpoint detection).
+	Equal(a, b S) bool
+	// Transfer applies one regionless op.
+	Transfer(op *ir.Op, s S) S
+	// EnterLoop seeds the loop-carried abstractions (induction variable,
+	// iteration arguments) before each abstract evaluation of the body.
+	EnterLoop(loop *ir.Op, s S) S
+	// ExitLoop binds the loop's results given the post-fixpoint state.
+	ExitLoop(loop *ir.Op, s S) S
+	// ExitIf joins the two arm states and binds the if's results.
+	ExitIf(ifOp *ir.Op, thenState, elseState S) S
+}
+
+// maxFixpointIters bounds the per-loop iteration count of the solver. The
+// abstract domains here have small finite height (⊥ → value → ⊤ per
+// tracked cell), so fixpoints arrive in two or three rounds; the cap is a
+// defensive backstop, and hitting it still yields a sound (post-join)
+// over-approximation because Join only ever moves up the lattice.
+const maxFixpointIters = 8
+
+// Forward runs a forward dataflow problem over one structured block: ops
+// in sequence, scf.if by evaluating both arms from the same entry state
+// and joining, scf.for by iterating the body to a join-fixpoint (the
+// region-tree equivalent of a worklist solver on the loop's back edge,
+// which also covers the zero-trip case since the entry state stays in the
+// join). Returns the state at the block's end.
+func Forward[S any](p ForwardProblem[S], b *ir.Block, s S) S {
+	for op := b.First(); op != nil; op = op.Next() {
+		switch op.Name() {
+		case scf.OpFor:
+			cur := p.EnterLoop(op, p.Clone(s))
+			for i := 0; i < maxFixpointIters; i++ {
+				out := Forward(p, op.Region(0).Block(), p.Clone(cur))
+				joined := p.Join(cur, out)
+				if p.Equal(joined, cur) {
+					cur = joined
+					break
+				}
+				cur = p.EnterLoop(op, joined)
+			}
+			s = p.ExitLoop(op, cur)
+		case scf.OpIf:
+			thenState := Forward(p, op.Region(0).Block(), p.Clone(s))
+			elseState := Forward(p, op.Region(1).Block(), p.Clone(s))
+			s = p.ExitIf(op, thenState, elseState)
+		default:
+			s = p.Transfer(op, s)
+		}
+	}
+	return s
+}

@@ -55,3 +55,44 @@ func TestCorpusReplay(t *testing.T) {
 		})
 	}
 }
+
+// TestCorpusStaticVerdicts replays every corpus module in audit mode (always
+// co-simulate, then cross-check) and asserts the static checker's soundness
+// contract on real-world minimized programs: the unmutated pipelines must
+// never be statically rejected (zero false positives), and the static
+// verdict must never contradict the dynamic oracle.
+func TestCorpusStaticVerdicts(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.ir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("corpus is empty — the anchor files are missing")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			rep, err := difftest.Replay(file, difftest.Options{Static: difftest.StaticAudit})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Invalid {
+				t.Fatalf("baseline invalid on corpus module: %s", rep.InvalidReason)
+			}
+			if len(rep.Static) == 0 {
+				t.Fatal("audit mode produced no static verdicts")
+			}
+			for _, s := range rep.Static {
+				if s.Rejected {
+					t.Errorf("%s: static false positive on unmutated pipeline: %s", s.Pipeline, s.Verdict)
+				}
+				if s.Disagree {
+					t.Errorf("%s: static/dynamic disagreement: %s", s.Pipeline, s.Verdict)
+				}
+				if s.SimSkipped {
+					t.Errorf("%s: audit mode must always co-simulate", s.Pipeline)
+				}
+			}
+		})
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"strings"
 
 	"configwall/internal/accel"
+	"configwall/internal/analysis"
 	"configwall/internal/codegen"
 	"configwall/internal/core"
 	"configwall/internal/ir"
@@ -90,6 +91,19 @@ const (
 	// (counters, final memory or summarized trace) — a simulator bug,
 	// not a compiler bug.
 	KindEngine
+	// KindStatic: the static config-state checker proved the optimized
+	// pre-lowering module diverges from the original program's intent; in
+	// pre-oracle mode the case is reported without co-simulation.
+	KindStatic
+	// KindStaticBounds: the simulator's counters fell below the static
+	// lower bounds (launch count / configuration writes) of the very module
+	// that was executed — the analysis and the machine disagree about the
+	// program.
+	KindStaticBounds
+	// KindStaticDisagree: the static verdict and the dynamic oracle
+	// contradict each other — a proved-equivalent pipeline diverged
+	// semantically, or a statically rejected one co-simulated clean.
+	KindStaticDisagree
 )
 
 func (k Kind) String() string {
@@ -114,6 +128,12 @@ func (k Kind) String() string {
 		return "cycle-regression"
 	case KindEngine:
 		return "engine-divergence"
+	case KindStatic:
+		return "static-reject"
+	case KindStaticBounds:
+		return "static-bounds"
+	case KindStaticDisagree:
+		return "static-disagree"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -165,6 +185,42 @@ type Options struct {
 	// final memory or the summarized trace is reported as a KindEngine
 	// divergence.
 	SkipEngineCrossCheck bool
+	// Static selects how the static config-state checker participates in
+	// the oracle; the zero value is StaticPreOracle.
+	Static StaticMode
+}
+
+// StaticMode selects the static checker's role in a check.
+type StaticMode int
+
+const (
+	// StaticPreOracle (the default) statically compares every optimized
+	// pipeline's pre-lowering module against the original program first: a
+	// proved divergence is reported as KindStatic without co-simulation
+	// (the proof is the witness); accepted modules proceed to the dynamic
+	// oracle, whose semantic outcome is then cross-checked against the
+	// static verdict (KindStaticDisagree on contradiction).
+	StaticPreOracle StaticMode = iota
+	// StaticAudit always co-simulates, then cross-checks the static
+	// verdict against the dynamic outcome — including for statically
+	// rejected cases, where the dynamic oracle must agree.
+	StaticAudit
+	// StaticOff disables the static checker entirely.
+	StaticOff
+)
+
+// StaticOutcome records the static verdict for one pipeline of one check.
+type StaticOutcome struct {
+	Pipeline core.Pipeline
+	// Verdict is the rendered analysis verdict ("reject: ...",
+	// "accept (proved)", "accept (inconclusive: ...)").
+	Verdict  string
+	Rejected bool
+	Proved   bool
+	// SimSkipped marks pre-oracle rejects that never co-simulated.
+	SimSkipped bool
+	// Disagree marks contradictions with the dynamic oracle.
+	Disagree bool
 }
 
 // DefaultCycleSlack bounds the overhead software pipelining may add on
@@ -264,6 +320,9 @@ type Report struct {
 	Base Execution
 	// Divergences lists every base/optimized disagreement found.
 	Divergences []Divergence
+	// Static lists the static checker's verdict per pipeline (empty when
+	// Options.Static is StaticOff).
+	Static []StaticOutcome
 }
 
 // Diverged reports whether any pipeline disagreed with the baseline.
@@ -293,7 +352,17 @@ func CheckModule(t core.Target, m *ir.Module, prog irgen.Program, opts Options) 
 	}
 
 	crossCheck := !opts.SkipEngineCrossCheck
-	base, kind, err := Execute(t, m, prog, pipelineFor(t, core.Baseline), nil, crossCheck)
+	static := opts.Static != StaticOff
+	var baseSum *analysis.Summary
+	if static {
+		baseSum = analysis.Explore(m)
+	}
+
+	baseFinal, basePre, kind, err := runPasses(m, pipelineFor(t, core.Baseline), nil)
+	var base Execution
+	if err == nil {
+		base, kind, err = executeCompiled(t, baseFinal, prog, crossCheck)
+	}
 	if err != nil {
 		if kind != KindEngine {
 			rep.Invalid = true
@@ -305,9 +374,38 @@ func CheckModule(t core.Target, m *ir.Module, prog irgen.Program, opts Options) 
 		rep.Divergences = append(rep.Divergences, Divergence{Kind: kind, Pipeline: core.Baseline, Detail: err.Error()})
 	}
 	rep.Base = base
+	if static {
+		if d := boundsViolation(core.Baseline, basePre, base); d != nil {
+			rep.Divergences = append(rep.Divergences, *d)
+		}
+	}
 
 	for _, p := range pipelines {
-		exec, kind, err := Execute(t, m, prog, pipelineFor(t, p), opts.Mutate, crossCheck)
+		final, preLower, kind, err := runPasses(m, pipelineFor(t, p), opts.Mutate)
+		if err != nil {
+			rep.Divergences = append(rep.Divergences, Divergence{Kind: kind, Pipeline: p, Detail: err.Error()})
+			continue
+		}
+
+		// Static verdict first: in pre-oracle mode a proved divergence is
+		// its own witness and the case never co-simulates; anything the
+		// analysis accepted (or audit mode) proceeds to the dynamic oracle,
+		// whose semantic outcome is cross-checked against the verdict.
+		var out *StaticOutcome
+		if static {
+			v := analysis.CompareSummaries(baseSum, analysis.Explore(preLower))
+			rep.Static = append(rep.Static, StaticOutcome{
+				Pipeline: p, Verdict: v.String(), Rejected: v.Rejected(), Proved: v.Proved(),
+			})
+			out = &rep.Static[len(rep.Static)-1]
+			if out.Rejected && opts.Static == StaticPreOracle {
+				out.SimSkipped = true
+				rep.Divergences = append(rep.Divergences, Divergence{Kind: KindStatic, Pipeline: p, Detail: v.String()})
+				continue
+			}
+		}
+
+		exec, kind, err := executeCompiled(t, final, prog, crossCheck)
 		if err != nil {
 			rep.Divergences = append(rep.Divergences, Divergence{Kind: kind, Pipeline: p, Detail: err.Error()})
 			if kind != KindEngine {
@@ -316,9 +414,53 @@ func CheckModule(t core.Target, m *ir.Module, prog irgen.Program, opts Options) 
 			// Engine divergences leave the reference execution intact:
 			// still compare it against the baseline below.
 		}
-		rep.Divergences = append(rep.Divergences, compare(t, p, base, exec, slack)...)
+		semantic := compare(t, p, base, exec, slack)
+		rep.Divergences = append(rep.Divergences, semantic...)
+
+		if out != nil {
+			if d := boundsViolation(p, preLower, exec); d != nil {
+				rep.Divergences = append(rep.Divergences, *d)
+			}
+			dynDiverged := hasSemanticDivergence(semantic)
+			switch {
+			case out.Rejected && !dynDiverged:
+				out.Disagree = true
+				rep.Divergences = append(rep.Divergences, Divergence{Kind: KindStaticDisagree, Pipeline: p,
+					Detail: fmt.Sprintf("statically rejected but co-simulated clean: %s", out.Verdict)})
+			case out.Proved && dynDiverged:
+				out.Disagree = true
+				rep.Divergences = append(rep.Divergences, Divergence{Kind: KindStaticDisagree, Pipeline: p,
+					Detail: fmt.Sprintf("statically proved equivalent but diverged dynamically (%s)", semantic[0].Kind)})
+			}
+		}
 	}
 	return rep
+}
+
+// boundsViolation checks one execution against the static lower bounds of
+// the very pre-lowering module that was executed: the machine may never do
+// less work than the analysis proved unavoidable.
+func boundsViolation(p core.Pipeline, preLower *ir.Module, exec Execution) *Divergence {
+	b := analysis.StaticBounds(preLower)
+	if len(exec.Launches) < b.MinLaunches || exec.ConfigInstrs < uint64(b.MinConfigInstrs) {
+		return &Divergence{Kind: KindStaticBounds, Pipeline: p,
+			Detail: fmt.Sprintf("executed %d launches / %d config instrs, static lower bounds %d / %d",
+				len(exec.Launches), exec.ConfigInstrs, b.MinLaunches, b.MinConfigInstrs)}
+	}
+	return nil
+}
+
+// hasSemanticDivergence reports whether the dynamic oracle observed a true
+// behavioral difference (as opposed to a metamorphic or engine finding) —
+// the outcomes the static verdict speaks to.
+func hasSemanticDivergence(divs []Divergence) bool {
+	for _, d := range divs {
+		switch d.Kind {
+		case KindMemory, KindLaunchCount, KindLaunchEffect:
+			return true
+		}
+	}
+	return false
 }
 
 // Execute clones m, runs the pass pipeline, compiles and simulates it with
@@ -329,16 +471,48 @@ func CheckModule(t core.Target, m *ir.Module, prog irgen.Program, opts Options) 
 // (Counters, final memory, summarized trace, launch effects) returns a
 // KindEngine error alongside the still valid reference Execution.
 func Execute(t core.Target, m *ir.Module, prog irgen.Program, pm *ir.PassManager, mutate func(*ir.Module) error, crossCheck bool) (Execution, Kind, error) {
+	clone, _, kind, err := runPasses(m, pm, mutate)
+	if err != nil {
+		return Execution{}, kind, err
+	}
+	return executeCompiled(t, clone, prog, crossCheck)
+}
+
+// runPasses clones m, applies the optional mutation and runs the pipeline.
+// Alongside the final module it returns the pre-lowering snapshot — the
+// module as it stood entering the first lower-* pass (or the final module
+// when the pipeline never lowers): the last point where accfg launches are
+// still visible to the static checker.
+func runPasses(m *ir.Module, pm *ir.PassManager, mutate func(*ir.Module) error) (final, preLower *ir.Module, kind Kind, err error) {
 	clone := m.Clone()
 	if mutate != nil {
 		if err := mutate(clone); err != nil {
-			return Execution{}, KindPipelineError, fmt.Errorf("mutate: %w", err)
+			return nil, nil, KindPipelineError, fmt.Errorf("mutate: %w", err)
 		}
 	}
-	if err := pm.Run(clone); err != nil {
-		return Execution{}, KindPipelineError, err
+	prev := pm.CheckEach
+	pm.CheckEach = func(pass string, before, after *ir.Module) error {
+		if preLower == nil && strings.HasPrefix(pass, "lower-") {
+			preLower = before
+		}
+		if prev != nil {
+			return prev(pass, before, after)
+		}
+		return nil
 	}
+	err = pm.Run(clone)
+	pm.CheckEach = prev
+	if err != nil {
+		return nil, nil, KindPipelineError, err
+	}
+	if preLower == nil {
+		preLower = clone
+	}
+	return clone, preLower, KindNone, nil
+}
 
+// executeCompiled compiles and simulates one already-optimized module.
+func executeCompiled(t core.Target, clone *ir.Module, prog irgen.Program, crossCheck bool) (Execution, Kind, error) {
 	bases := make([]uint64, len(prog.Buffers))
 	next := uint64(bufferBase)
 	for i, buf := range prog.Buffers {

@@ -7,6 +7,7 @@ import (
 
 	"configwall/internal/core"
 	"configwall/internal/dialects/accfg"
+	"configwall/internal/dialects/arith"
 	"configwall/internal/difftest"
 	"configwall/internal/ir"
 	"configwall/internal/irgen"
@@ -162,6 +163,99 @@ func TestMutationCaughtAndShrunk(t *testing.T) {
 			}
 			t.Logf("%s: shrank %d -> %d ops in %d steps (%d attempts)", tc.target, before, sh.Ops, sh.Steps, sh.Attempts)
 		})
+	}
+}
+
+// bumpConstField models a miscompile the static checker can *prove*: it
+// finds a setup field whose value is an arith.constant used only by setup
+// ops (so the event structure cannot change) and bumps the constant. The
+// abstract comparison then sees Const-vs-Const on a launch-observed field.
+func bumpConstField() func(*ir.Module) error {
+	return func(m *ir.Module) error {
+		var done bool
+		m.Walk(func(op *ir.Op) {
+			s, ok := accfg.AsSetup(op)
+			if !ok || done {
+				return
+			}
+			for _, name := range s.FieldNames() {
+				v := s.FieldValue(name)
+				def := v.DefiningOp()
+				if def == nil || def.Name() != arith.OpConstant {
+					continue
+				}
+				onlySetups := true
+				for _, u := range v.Uses() {
+					if _, ok := accfg.AsSetup(u.Op); !ok {
+						onlySetups = false
+						break
+					}
+				}
+				if !onlySetups {
+					continue
+				}
+				val, _ := arith.ConstantValue(v)
+				def.SetAttr("value", ir.IntAttr(val+1))
+				done = true
+				return
+			}
+		})
+		if !done {
+			return fmt.Errorf("mutation found no setup-only constant field")
+		}
+		return nil
+	}
+}
+
+// TestStaticPreOracleSkipsSim: a provably miscompiled pipeline is rejected
+// by the static pre-oracle without co-simulation (KindStatic, SimSkipped),
+// while audit mode still co-simulates and must agree with the dynamic
+// verdict; StaticOff records no verdicts at all.
+func TestStaticPreOracleSkipsSim(t *testing.T) {
+	tgt, prof := targetAndProfile(t, "gemmini")
+	prog, err := irgen.Generate(prof, irgen.DeriveSeed(4, "gemmini", 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := difftest.Options{
+		Pipelines: []core.Pipeline{core.DedupOnly},
+		Mutate:    bumpConstField(),
+	}
+
+	pre := base
+	pre.Static = difftest.StaticPreOracle
+	rep := difftest.Check(tgt, prog, pre)
+	if rep.Invalid {
+		t.Fatalf("baseline invalid: %s", rep.InvalidReason)
+	}
+	if len(rep.Static) != 1 || !rep.Static[0].Rejected || !rep.Static[0].SimSkipped {
+		t.Fatalf("pre-oracle static outcome not a sim-skipping reject: %+v", rep.Static)
+	}
+	if len(rep.Divergences) != 1 || rep.Divergences[0].Kind != difftest.KindStatic {
+		t.Fatalf("expected exactly one static-reject divergence, got %+v", rep.Divergences)
+	}
+
+	audit := base
+	audit.Static = difftest.StaticAudit
+	rep = difftest.Check(tgt, prog, audit)
+	if len(rep.Static) != 1 || !rep.Static[0].Rejected || rep.Static[0].SimSkipped {
+		t.Fatalf("audit static outcome not a co-simulated reject: %+v", rep.Static)
+	}
+	if rep.Static[0].Disagree {
+		t.Fatalf("static reject must agree with the dynamic oracle: %+v", rep)
+	}
+	if !rep.Diverged() {
+		t.Fatal("audit mode lost the dynamic divergence")
+	}
+
+	off := base
+	off.Static = difftest.StaticOff
+	rep = difftest.Check(tgt, prog, off)
+	if len(rep.Static) != 0 {
+		t.Fatalf("StaticOff still produced verdicts: %+v", rep.Static)
+	}
+	if !rep.Diverged() {
+		t.Fatal("dynamic oracle missed the mutation with the checker off")
 	}
 }
 

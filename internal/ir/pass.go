@@ -33,6 +33,13 @@ type PassManager struct {
 	// VerifyEach enables IR verification after every pass (on by default in
 	// NewPassManager).
 	VerifyEach bool
+	// CheckEach, when set, receives every pass name together with the
+	// module state before and after that pass ran (the before module is a
+	// private clone). It is the hook the static config-state checker
+	// (internal/analysis.PassCheck) plugs into: a non-nil error aborts the
+	// pipeline, attributed to the offending pass. Cloning only happens
+	// when the hook is set, so plain pipelines pay nothing.
+	CheckEach func(pass string, before, after *Module) error
 	// Stats accumulates a human-readable log line per executed pass.
 	Stats []string
 }
@@ -61,12 +68,21 @@ func (pm *PassManager) Passes() []string {
 func (pm *PassManager) Run(m *Module) error {
 	for _, p := range pm.passes {
 		before := CountOps(m)
+		var snapshot *Module
+		if pm.CheckEach != nil {
+			snapshot = m.Clone()
+		}
 		if err := p.Run(m); err != nil {
 			return fmt.Errorf("pass %s: %w", p.Name(), err)
 		}
 		if pm.VerifyEach {
 			if err := Verify(m); err != nil {
 				return fmt.Errorf("verifier failed after pass %s: %w", p.Name(), err)
+			}
+		}
+		if pm.CheckEach != nil {
+			if err := pm.CheckEach(p.Name(), snapshot, m); err != nil {
+				return fmt.Errorf("static check failed after pass %s: %w", p.Name(), err)
 			}
 		}
 		after := CountOps(m)

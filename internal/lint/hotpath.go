@@ -1,0 +1,94 @@
+package lint
+
+// hotpathalloc: the simulator dispatch loops and serving fast paths carry a
+// //cwlint:hotpath annotation and must stay allocation-free per iteration.
+// The Go compiler gives no diagnostic for a closure or fmt call quietly
+// added to a loop that executes hundreds of millions of times per sweep;
+// this check turns the convention into a CI failure. Calls to the fmt
+// package are exempt inside return statements — an error construction on
+// the exit path runs once, not per iteration.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var hotpathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocation-inducing constructs in //cwlint:hotpath functions",
+	Run:  runHotpathAlloc,
+}
+
+func runHotpathAlloc(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !directive(fd.Doc, "hotpath") {
+				continue
+			}
+			out = append(out, checkHotBody(p, fd)...)
+		}
+	}
+	return out
+}
+
+func checkHotBody(p *Package, fd *ast.FuncDecl) []Finding {
+	// Pre-collect return-statement extents: fmt calls inside them are
+	// one-shot exits, not per-iteration work.
+	var returns [][2]token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, [2]token.Pos{r.Pos(), r.End()})
+		}
+		return true
+	})
+	inReturn := func(pos token.Pos) bool {
+		for _, r := range returns {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	flag := func(n ast.Node, msg string) Finding {
+		return Finding{Pos: p.Fset.Position(n.Pos()), Analyzer: "hotpathalloc",
+			Message: fd.Name.Name + ": " + msg}
+	}
+
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			out = append(out, flag(n, "go statement spawns a goroutine in a hot path"))
+		case *ast.DeferStmt:
+			out = append(out, flag(n, "defer allocates a frame record in a hot path"))
+		case *ast.FuncLit:
+			out = append(out, flag(n, "function literal may allocate a closure in a hot path"))
+			return false
+		case *ast.CompositeLit:
+			out = append(out, flag(n, "composite literal may allocate in a hot path"))
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if obj, ok := p.Info.Uses[fun].(*types.Builtin); ok {
+					switch obj.Name() {
+					case "make", "new":
+						out = append(out, flag(n, obj.Name()+" allocates in a hot path"))
+					}
+				}
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok {
+					if pn, ok := p.Info.Uses[id].(*types.PkgName); ok &&
+						pn.Imported().Path() == "fmt" && !inReturn(n.Pos()) {
+						out = append(out, flag(n, "fmt."+fun.Sel.Name+" allocates in a hot path (only allowed inside a return)"))
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

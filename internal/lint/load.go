@@ -1,0 +1,165 @@
+package lint
+
+// Loading and type-checking without golang.org/x/tools: the stdlib source
+// importer handles standard-library imports, and a thin module-aware
+// importer resolves this repo's own import paths by walking up to go.mod.
+// Loaded packages are memoized per Loader, so linting the whole tree
+// type-checks each package (and the stdlib closure) once.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	ignore map[string]map[int]bool
+}
+
+// Loader parses and type-checks packages, memoizing by import path.
+type Loader struct {
+	Fset   *token.FileSet
+	root   string // module root directory
+	module string // module path from go.mod
+	std    types.Importer
+	loaded map[string]*Package
+	typed  map[string]*types.Package
+}
+
+// NewLoader creates a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		root:   root,
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil),
+		loaded: make(map[string]*Package),
+		typed:  make(map[string]*types.Package),
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadDir parses and type-checks the package in one directory (non-test
+// files only). The directory may be inside the module (its import path is
+// derived from go.mod) or an out-of-tree fixture directory (typed as its
+// package name).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.importPathFor(abs)
+	if p, ok := l.loaded[path]; ok {
+		return p, nil
+	}
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+	}
+	p := &Package{Path: path, Dir: abs, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	p.buildIgnoreIndex()
+	l.loaded[path] = p
+	l.typed[path] = tpkg
+	return p, nil
+}
+
+// importPathFor maps a directory inside the module to its import path;
+// directories outside the module (test fixtures) keep their absolute path
+// as a synthetic package path.
+func (l *Loader) importPathFor(abs string) string {
+	if rel, err := filepath.Rel(l.root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.module
+		}
+		return l.module + "/" + filepath.ToSlash(rel)
+	}
+	return abs
+}
+
+// Import implements types.Importer: module-local paths load from the repo
+// source tree (recursively through this loader), everything else delegates
+// to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if tp, ok := l.typed[path]; ok {
+		return tp, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+		if _, err := l.LoadDir(filepath.Join(l.root, filepath.FromSlash(rel))); err != nil {
+			return nil, err
+		}
+		return l.typed[path], nil
+	}
+	return l.std.Import(path)
+}

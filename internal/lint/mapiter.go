@@ -1,0 +1,84 @@
+package lint
+
+// mapiter: every report, figure and metrics endpoint in this repo promises
+// byte-identical output across runs; Go map iteration order is randomized
+// per run. Ranging over a map while writing output (fmt.Print*/Fprint*, or
+// any Write* method, e.g. strings.Builder / http.ResponseWriter) leaks that
+// order into the output. Collect keys, sort, then range the slice
+// (serve/metrics.go sortedKeys is the in-tree idiom). Building values
+// inside a map range (append, Sprintf into a slice) stays legal — order
+// only matters once bytes are emitted.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var mapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "forbid writing output while ranging over a map (nondeterministic order)",
+	Run:  runMapIter,
+}
+
+func runMapIter(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if call := findOutputCall(p, rs.Body); call != nil {
+				out = append(out, Finding{
+					Pos:      p.Fset.Position(rs.Pos()),
+					Analyzer: "mapiter",
+					Message:  "writes output while ranging over a map — iteration order is nondeterministic; sort the keys first",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// findOutputCall returns the first output-producing call in the body: a
+// fmt.Print*/Fprint* call, or any method call whose name starts with Write
+// (io.Writer, strings.Builder, http.ResponseWriter...).
+func findOutputCall(p *Package, body *ast.BlockStmt) (found *ast.CallExpr) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+					found = call
+				}
+				return true
+			}
+		}
+		// Method call: any Write/WriteString/WriteByte/... on anything.
+		if p.Info.Selections[sel] != nil && strings.HasPrefix(name, "Write") {
+			found = call
+		}
+		return true
+	})
+	return found
+}

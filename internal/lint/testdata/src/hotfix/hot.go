@@ -1,0 +1,45 @@
+// Package hotfix is the failing fixture for the hotpathalloc analyzer:
+// every construct the rule forbids appears once in an annotated function,
+// alongside the two sanctioned escapes (fmt inside a return, an explicit
+// //cwlint:ignore).
+package hotfix
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func release() {}
+
+// dispatch is the all-violations function.
+//
+//cwlint:hotpath
+func dispatch(n int) int {
+	buf := make([]int, n)        // want hotpathalloc
+	fmt.Println(n)               // want hotpathalloc
+	defer release()              // want hotpathalloc
+	go release()                 // want hotpathalloc
+	f := func() int { return n } // want hotpathalloc
+	s := pair{n, n}              // want hotpathalloc
+	_ = buf
+	_ = s
+	return f()
+}
+
+// clean exercises both escapes: error construction on the exit path and a
+// justified suppression.
+//
+//cwlint:hotpath
+func clean(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad %d", n)
+	}
+	x := make([]int, 1) //cwlint:ignore one-time warmup, amortized across the run
+	_ = x
+	return nil
+}
+
+// unannotated functions are out of scope however much they allocate.
+func unannotated(n int) []int {
+	fmt.Println(n)
+	return make([]int, n)
+}

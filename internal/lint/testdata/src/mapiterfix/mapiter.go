@@ -1,0 +1,33 @@
+// Package mapiterfix is the failing fixture for the mapiter analyzer: one
+// range-over-map that writes output directly, one that writes through an
+// io.Writer method, and the sanctioned collect-sort-range idiom.
+package mapiterfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func bad(m map[string]int) {
+	for k, v := range m { // want mapiter
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func badWriter(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want mapiter
+		sb.WriteString(k)
+	}
+}
+
+func good(m map[string]int, sb *strings.Builder) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(sb, "%s=%d\n", k, m[k])
+	}
+}

@@ -1,0 +1,29 @@
+// Package pooledfix is the failing fixture for the pooledreturn analyzer:
+// one aliasing assignment of a pooled trace slice, next to every sanctioned
+// form (copy, nil, ownership-preserving reslice, call result).
+package pooledfix
+
+type Segment struct{ Start, End uint64 }
+
+type machine struct{ Trace []Segment }
+
+type result struct{ Trace []Segment }
+
+var pool = struct{ buf []Segment }{}
+
+func get() []Segment { return pool.buf }
+
+func bad(mc *machine) result {
+	var res result
+	res.Trace = mc.Trace // want pooledreturn
+	return res
+}
+
+func good(mc *machine) result {
+	var res result
+	res.Trace = append([]Segment(nil), mc.Trace...)
+	res.Trace = nil
+	mc.Trace = mc.Trace[:0]
+	mc.Trace = get()
+	return res
+}

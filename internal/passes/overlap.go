@@ -1,8 +1,22 @@
 package passes
 
 import (
+	"configwall/internal/analysis"
 	"configwall/internal/dialects/accfg"
 	"configwall/internal/ir"
+)
+
+// Test-only toggles that disable individual overlap soundness guards,
+// re-introducing the four historical bug classes the guards were added for
+// (each originally found by differential fuzzing, now also caught by the
+// static checker — overlap_repro_test.go replays them and asserts
+// analysis.CompareModules rejects the miscompiled output). Never set
+// outside tests.
+var (
+	overlapSkipNestedGuard  bool // pipelining: ignore accfg ops nested in the body
+	overlapSkipMemrefGuard  bool // pipelining: ignore host memory ops in the body
+	overlapSkipPhantomGuard bool // pipelining: ignore launches reachable after the loop
+	overlapSkipStagingGuard bool // straight-line: hop setups over staging writers
 )
 
 // Overlap returns the configuration-computation overlap pass (paper §5.5).
@@ -85,22 +99,34 @@ func pipelineLoop(loop *ir.Op, concurrent func(string) bool) bool {
 	// The depth-1 scan above cannot see accfg ops nested in scf.if/scf.for
 	// inside the body; a nested launch would commit the rotated setup's
 	// *next*-iteration configuration after the rewrite (same phantom-state
-	// class as launchReachableAfter below — found by differential fuzzing
-	// review). Bail on any nested accfg op. Likewise, moving the launch to
-	// the top of the body reorders the device's memory effects (the job
-	// reads and writes main memory at launch time) with every host
-	// memref.load/store that used to precede it — there is no alias
-	// analysis, so any host memory op in the body blocks pipelining.
+	// class as the LaunchReachableAfter guard below — found by differential
+	// fuzzing review). Likewise, moving the launch to the top of the body
+	// reorders the device's memory effects (the job reads and writes main
+	// memory at launch time) with every host memref.load/store that used to
+	// precede it — there is no alias analysis, so any host memory op in the
+	// body blocks pipelining. Both hazards are the shared interference
+	// query; the toggled walk below exists only for the bug-replay tests.
 	unsafe := false
 	for _, op := range body.Ops() {
 		if op == setupOp || op == launchOp || op == awaitOp {
 			continue
 		}
+		if !overlapSkipNestedGuard && !overlapSkipMemrefGuard {
+			if analysis.SubtreePipelineHazard(op) {
+				unsafe = true
+			}
+			continue
+		}
 		ir.Walk(op, func(o *ir.Op) {
 			switch o.Name() {
-			case accfg.OpSetup, accfg.OpLaunch, accfg.OpAwait,
-				"memref.load", "memref.store":
-				unsafe = true
+			case accfg.OpSetup, accfg.OpLaunch, accfg.OpAwait:
+				if !overlapSkipNestedGuard {
+					unsafe = true
+				}
+			default:
+				if analysis.HostMemoryOp(o) && !overlapSkipMemrefGuard {
+					unsafe = true
+				}
 			}
 		})
 	}
@@ -163,7 +189,7 @@ func pipelineLoop(loop *ir.Op, concurrent func(string) bool) bool {
 	// enclosing loop — would observe that phantom state instead of the last
 	// real configuration, so the rewrite must bail (found by differential
 	// fuzzing; the paper's workloads always pipeline the last launch site).
-	if launchReachableAfter(loop, s.Accelerator()) {
+	if !overlapSkipPhantomGuard && analysis.LaunchReachableAfter(loop, s.Accelerator()) {
 		return false
 	}
 
@@ -209,54 +235,6 @@ func pipelineLoop(loop *ir.Op, concurrent func(string) bool) bool {
 	}
 	// The original slice ops may now be dead; greedy DCE cleans them later.
 	return true
-}
-
-// launchReachableAfter reports whether a launch of the given accelerator
-// outside loop can execute after the loop body ran: it appears later in the
-// enclosing function's pre-order, or it shares an enclosing scf.for with the
-// loop (in which case the next enclosing iteration wraps around to it).
-func launchReachableAfter(loop *ir.Op, accel string) bool {
-	// Find the enclosing function (or topmost ancestor).
-	root := loop
-	for p := root.ParentOp(); p != nil; p = p.ParentOp() {
-		root = p
-		if p.Name() == "fnc.func" {
-			break
-		}
-	}
-	// Pre-order positions over the function: an op in an enclosing block
-	// after the loop, or a later sibling subtree, gets a larger position.
-	pos := map[*ir.Op]int{}
-	n := 0
-	ir.Walk(root, func(o *ir.Op) {
-		pos[o] = n
-		n++
-	})
-	// Enclosing scf.for ancestors of the loop.
-	var enclosingLoops []*ir.Op
-	for p := loop.ParentOp(); p != nil; p = p.ParentOp() {
-		if p.Name() == scf_OpFor {
-			enclosingLoops = append(enclosingLoops, p)
-		}
-	}
-	unsafe := false
-	ir.Walk(root, func(o *ir.Op) {
-		l, ok := accfg.AsLaunch(o)
-		if !ok || l.Accelerator() != accel || loop.IsAncestorOf(o) {
-			return
-		}
-		if pos[o] > pos[loop] {
-			unsafe = true
-			return
-		}
-		for _, enc := range enclosingLoops {
-			if enc.IsAncestorOf(o) {
-				unsafe = true
-				return
-			}
-		}
-	})
-	return unsafe
 }
 
 // pureInputSlice returns the ops inside body that (transitively) compute the
@@ -357,7 +335,7 @@ func overlapBlock(blk *ir.Block, concurrent func(string) bool) bool {
 				safe = false
 				break
 			}
-			if touchesStaging(o, s.Accelerator()) {
+			if !overlapSkipStagingGuard && analysis.TouchesStaging(o, s.Accelerator()) {
 				safe = false
 				break
 			}
@@ -372,19 +350,6 @@ func overlapBlock(blk *ir.Block, concurrent func(string) bool) bool {
 		changed = true
 	}
 	return changed
-}
-
-// touchesStaging reports whether op writes or commits the named
-// accelerator's staging registers (a setup writes them, a launch commits
-// them); such ops pin any same-accelerator setup behind them.
-func touchesStaging(op *ir.Op, accelerator string) bool {
-	if s, ok := accfg.AsSetup(op); ok {
-		return s.Accelerator() == accelerator
-	}
-	if l, ok := accfg.AsLaunch(op); ok {
-		return l.Accelerator() == accelerator
-	}
-	return false
 }
 
 func movableContains(ops []*ir.Op, op *ir.Op) bool {

@@ -1,0 +1,213 @@
+package passes
+
+// Archived reproductions of the four historical overlap-pass soundness
+// bugs (found by differential fuzzing; see DESIGN.md §5, §9). Each guard
+// that fixed one of them has a test-only toggle re-introducing the bug;
+// these tests replay the buggy rewrite and assert the static checker
+// (analysis.CompareModules) rejects the miscompiled output, and that with
+// the guard in place the pass output is statically accepted. This pins the
+// checker's coverage: a regression in either the guard or the analysis
+// turns one of these red.
+
+import (
+	"strings"
+	"testing"
+
+	"configwall/internal/analysis"
+	"configwall/internal/ir"
+
+	_ "configwall/internal/dialects/fnc"
+	_ "configwall/internal/dialects/memref"
+	_ "configwall/internal/dialects/scf"
+)
+
+func parseRepro(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+// runRepro applies the overlap pass (with every accelerator concurrent) to
+// a clone of base under the given toggle and returns the static verdict of
+// the result against the original.
+func runRepro(t *testing.T, base *ir.Module, toggle *bool) analysis.Verdict {
+	t.Helper()
+	if toggle != nil {
+		*toggle = true
+		t.Cleanup(func() { *toggle = false })
+	}
+	m := base.Clone()
+	pm := ir.NewPassManager(Overlap(func(string) bool { return true }))
+	if err := pm.Run(m); err != nil {
+		t.Fatalf("pass failed: %v", err)
+	}
+	if toggle != nil {
+		*toggle = false
+	}
+	return analysis.CompareModules(base, m)
+}
+
+// assertRejected checks the buggy variant is statically refuted and the
+// finding mentions the expected detail fragment.
+func assertRejected(t *testing.T, v analysis.Verdict, fragment string) {
+	t.Helper()
+	if !v.Rejected() {
+		t.Fatalf("buggy rewrite not rejected: %s", v)
+	}
+	if fragment != "" && !strings.Contains(v.String(), fragment) {
+		t.Errorf("verdict %q does not mention %q", v, fragment)
+	}
+}
+
+// Bug class 1: straight-line overlap hopping a setup over another setup and
+// launch of the same accelerator — the hopped launch commits the moved
+// setup's values instead of its program-order configuration.
+const reproStagingSrc = `
+"builtin.module"() ({
+  "fnc.func"() ({
+    %c1 = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %c9 = "arith.constant"() {value = 9 : i64} : () -> (i64)
+    %c2 = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    %s0 = "accfg.setup"(%c1) {accelerator = "acc", fields = ["x"]} : (i64) -> (!accfg.state<"acc">)
+    %t0 = "accfg.launch"(%s0) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+    "accfg.await"(%t0) : (!accfg.token<"acc">) -> ()
+    %sB = "accfg.setup"(%c9) {accelerator = "acc", fields = ["x"]} : (i64) -> (!accfg.state<"acc">)
+    %tB = "accfg.launch"(%sB) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+    "accfg.await"(%tB) : (!accfg.token<"acc">) -> ()
+    %s1 = "accfg.setup"(%s0, %c2) {accelerator = "acc", fields = ["x"], in_state} : (!accfg.state<"acc">, i64) -> (!accfg.state<"acc">)
+    %t1 = "accfg.launch"(%s1) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+    "accfg.await"(%t1) : (!accfg.token<"acc">) -> ()
+    "fnc.return"() : () -> ()
+  }) {function_type = () -> (), sym_name = "main"} : () -> ()
+}) : () -> ()
+`
+
+func TestReproStagingReorderAcrossLaunch(t *testing.T) {
+	base := parseRepro(t, reproStagingSrc)
+	if v := runRepro(t, base, nil); v.Rejected() {
+		t.Fatalf("guarded pass statically rejected: %s", v)
+	}
+	v := runRepro(t, base, &overlapSkipStagingGuard)
+	assertRejected(t, v, "field x")
+}
+
+// Bug class 2: software pipelining a loop with a same-accelerator launch
+// after it — the post-loop launch observes the phantom next-iteration
+// configuration the rotated setup left in the staging registers.
+const reproPhantomSrc = `
+"builtin.module"() ({
+  "fnc.func"() ({
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 4 : index} : () -> (index)
+    %st = "arith.constant"() {value = 1 : index} : () -> (index)
+    %c7 = "arith.constant"() {value = 7 : i64} : () -> (i64)
+    %s0 = "accfg.setup"() {accelerator = "acc", fields = []} : () -> (!accfg.state<"acc">)
+    %r = "scf.for"(%lb, %ub, %st, %s0) ({
+      ^(%i: index, %state: !accfg.state<"acc">):
+      %iv = "arith.index_cast"(%i) : (index) -> (i64)
+      %s = "accfg.setup"(%state, %iv) {accelerator = "acc", fields = ["x"], in_state} : (!accfg.state<"acc">, i64) -> (!accfg.state<"acc">)
+      %tk = "accfg.launch"(%s) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+      "accfg.await"(%tk) : (!accfg.token<"acc">) -> ()
+      "scf.yield"(%s) : (!accfg.state<"acc">) -> ()
+    }) : (index, index, index, !accfg.state<"acc">) -> (!accfg.state<"acc">)
+    %sF = "accfg.setup"(%r, %c7) {accelerator = "acc", fields = ["y"], in_state} : (!accfg.state<"acc">, i64) -> (!accfg.state<"acc">)
+    %tF = "accfg.launch"(%sF) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+    "accfg.await"(%tF) : (!accfg.token<"acc">) -> ()
+    "fnc.return"() : () -> ()
+  }) {function_type = () -> (), sym_name = "main"} : () -> ()
+}) : () -> ()
+`
+
+func TestReproPhantomConfigLeak(t *testing.T) {
+	base := parseRepro(t, reproPhantomSrc)
+	if v := runRepro(t, base, nil); v.Rejected() {
+		t.Fatalf("guarded pass statically rejected: %s", v)
+	}
+	// The final launch keeps x from the last *launched* iteration (3); the
+	// buggy pipeline leaves the never-launched iteration-4 value behind.
+	v := runRepro(t, base, &overlapSkipPhantomGuard)
+	assertRejected(t, v, "field x")
+}
+
+// Bug class 3: software pipelining a loop whose body holds a conditional
+// nested launch — after rotation the nested launch commits the *next*
+// iteration's configuration.
+const reproNestedSrc = `
+"builtin.module"() ({
+  "fnc.func"() ({
+    ^(%p: i64):
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 3 : index} : () -> (index)
+    %st = "arith.constant"() {value = 1 : index} : () -> (index)
+    %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %s0 = "accfg.setup"() {accelerator = "acc", fields = []} : () -> (!accfg.state<"acc">)
+    %cnd = "arith.cmpi"(%p, %z) {predicate = "ne"} : (i64, i64) -> (i1)
+    %r = "scf.for"(%lb, %ub, %st, %s0) ({
+      ^(%i: index, %state: !accfg.state<"acc">):
+      %iv = "arith.index_cast"(%i) : (index) -> (i64)
+      %s = "accfg.setup"(%state, %iv) {accelerator = "acc", fields = ["x"], in_state} : (!accfg.state<"acc">, i64) -> (!accfg.state<"acc">)
+      %tk = "accfg.launch"(%s) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+      "accfg.await"(%tk) : (!accfg.token<"acc">) -> ()
+      "scf.if"(%cnd) ({
+        %t2 = "accfg.launch"(%s) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+        "accfg.await"(%t2) : (!accfg.token<"acc">) -> ()
+        "scf.yield"() : () -> ()
+      }, {
+        "scf.yield"() : () -> ()
+      }) : (i1) -> ()
+      "scf.yield"(%s) : (!accfg.state<"acc">) -> ()
+    }) : (index, index, index, !accfg.state<"acc">) -> (!accfg.state<"acc">)
+    "fnc.return"() : () -> ()
+  }) {function_type = (i64) -> (), sym_name = "main"} : () -> ()
+}) : () -> ()
+`
+
+func TestReproNestedLaunchCommit(t *testing.T) {
+	base := parseRepro(t, reproNestedSrc)
+	if v := runRepro(t, base, nil); v.Rejected() {
+		t.Fatalf("guarded pass statically rejected: %s", v)
+	}
+	v := runRepro(t, base, &overlapSkipNestedGuard)
+	assertRejected(t, v, "field x")
+}
+
+// Bug class 4: software pipelining a loop whose body performs host memory
+// traffic before the launch — rotation hoists the launch (and the device's
+// memory effects) above the host access without alias analysis.
+const reproMemrefSrc = `
+"builtin.module"() ({
+  "fnc.func"() ({
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 3 : index} : () -> (index)
+    %st = "arith.constant"() {value = 1 : index} : () -> (index)
+    %c5 = "arith.constant"() {value = 5 : i64} : () -> (i64)
+    %buf = "memref.alloc"(%ub) : (index) -> (memref<i64>)
+    %s0 = "accfg.setup"() {accelerator = "acc", fields = []} : () -> (!accfg.state<"acc">)
+    %r = "scf.for"(%lb, %ub, %st, %s0) ({
+      ^(%i: index, %state: !accfg.state<"acc">):
+      "memref.store"(%c5, %buf, %i) : (i64, memref<i64>, index) -> ()
+      %iv = "arith.index_cast"(%i) : (index) -> (i64)
+      %s = "accfg.setup"(%state, %iv) {accelerator = "acc", fields = ["x"], in_state} : (!accfg.state<"acc">, i64) -> (!accfg.state<"acc">)
+      %tk = "accfg.launch"(%s) : (!accfg.state<"acc">) -> (!accfg.token<"acc">)
+      "accfg.await"(%tk) : (!accfg.token<"acc">) -> ()
+      "scf.yield"(%s) : (!accfg.state<"acc">) -> ()
+    }) : (index, index, index, !accfg.state<"acc">) -> (!accfg.state<"acc">)
+    "fnc.return"() : () -> ()
+  }) {function_type = () -> (), sym_name = "main"} : () -> ()
+}) : () -> ()
+`
+
+func TestReproLaunchHoistOverHostMemory(t *testing.T) {
+	base := parseRepro(t, reproMemrefSrc)
+	if v := runRepro(t, base, nil); v.Rejected() {
+		t.Fatalf("guarded pass statically rejected: %s", v)
+	}
+	v := runRepro(t, base, &overlapSkipMemrefGuard)
+	assertRejected(t, v, "reordered")
+}

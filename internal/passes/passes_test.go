@@ -3,6 +3,7 @@ package passes_test
 import (
 	"testing"
 
+	"configwall/internal/analysis"
 	"configwall/internal/dialects/accfg"
 	"configwall/internal/dialects/arith"
 	"configwall/internal/dialects/fnc"
@@ -51,6 +52,9 @@ func buildFigure9Input(t testing.TB) (*ir.Module, fnc.Func) {
 func runPipeline(t testing.TB, m *ir.Module, ps ...ir.Pass) {
 	t.Helper()
 	pm := ir.NewPassManager(ps...)
+	// Every test pipeline runs under the static config-state checker: a
+	// pass whose output provably diverges from its input fails here.
+	pm.CheckEach = analysis.PassCheck
 	if err := pm.Run(m); err != nil {
 		t.Fatalf("pipeline failed: %v\n%s", err, ir.PrintModule(m))
 	}

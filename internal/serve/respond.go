@@ -25,6 +25,7 @@ type jsonResponder struct {
 // method-call ceremony.
 type bytesBuffer struct{ b []byte }
 
+//cwlint:hotpath
 func (w *bytesBuffer) Write(p []byte) (int, error) {
 	w.b = append(w.b, p...)
 	return len(p), nil
@@ -50,6 +51,8 @@ var jsonContentType = []string{"application/json"}
 // net/http to derive (it buffers short handler responses and sets it
 // automatically); encoding errors are reported before anything is written,
 // so the caller can still emit an error status.
+//
+//cwlint:hotpath
 func writeJSON(w http.ResponseWriter, v any) error {
 	jr := responderPool.Get().(*jsonResponder)
 	jr.buf.b = jr.buf.b[:0]

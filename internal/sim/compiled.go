@@ -373,6 +373,8 @@ func (c *Compiled) lower(pc int, last bool) opFn {
 // a clean clock, counters and trace; on error, Cycles reflects the time
 // reached. The program must have been compiled by this machine against its
 // current memory.
+//
+//cwlint:hotpath
 func (mc *Machine) RunCompiled(c *Compiled) error {
 	if c.mc != mc {
 		return fmt.Errorf("sim: compiled program is bound to a different machine")

@@ -40,6 +40,8 @@ import (
 // each call starts from a clean clock, counters and trace; on error,
 // Cycles reflects the time reached. The program must have been decoded
 // under the machine's own cost model.
+//
+//cwlint:hotpath
 func (mc *Machine) RunDecoded(d *riscv.Decoded) error {
 	if name := mc.Cost.Name(); d.CostName != name {
 		return fmt.Errorf("sim: program decoded for cost model %q cannot run on %q", d.CostName, name)
@@ -271,6 +273,8 @@ outer:
 // instruction (no accounting — the caller has already charged it, either
 // individually or as part of a batched block). It reports whether control
 // transfers to ins.Target.
+//
+//cwlint:hotpath
 func (mc *Machine) execPlain(ins *riscv.DecodedInstr) bool {
 	rs1 := mc.Regs[ins.Rs1]
 	rs2 := mc.Regs[ins.Rs2]
