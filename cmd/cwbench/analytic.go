@@ -1,0 +1,115 @@
+package main
+
+// Analytical-tier modes (DESIGN.md §10): -calibrate fits the
+// simulation-free prediction tier against the simulator and emits the
+// fitted constants plus the held-out error report; -fidelity switches the
+// figure sweeps onto the analytical tier (screen = every cell predicted,
+// topk = only the K most promising cells simulated).
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+
+	"configwall/internal/analytic"
+	"configwall/internal/core"
+)
+
+// runCalibrate is the calibration subcommand: fit against the simulator,
+// print the per-target roofline constants and the held-out error report,
+// and write the model JSON. A band violation is an error — the committed
+// band is the contract every later -fidelity consumer relies on.
+func runCalibrate(r *core.Runner, path string, seed int64) error {
+	model, rep, err := analytic.Calibrate(context.Background(), r, analytic.Spec{Seed: seed})
+	if err != nil {
+		return err
+	}
+	printConstants(model)
+	fmt.Print(rep.String())
+	if err := model.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cwbench: calibrate: wrote %s\n", path)
+	if !rep.Clean() {
+		return fmt.Errorf("held-out error outside the documented band (geomean <= %.0f%%, per-cell <= %.0f%%)",
+			100*rep.Band.Geomean, 100*rep.Band.PerCell)
+	}
+	return nil
+}
+
+// printConstants renders the fitted per-target constants deterministically
+// (sorted target order, like every other cwbench table).
+func printConstants(m *analytic.Model) {
+	fmt.Printf("calibration: seed %d, schema %d, band: geomean <= %.0f%%, per-cell <= %.0f%%\n",
+		m.Seed, m.Schema, 100*m.Band.Geomean, 100*m.Band.PerCell)
+	names := make([]string, 0, len(m.Targets))
+	for tn := range m.Targets {
+		names = append(names, tn)
+	}
+	sort.Strings(names)
+	for _, tn := range names {
+		tm := m.Targets[tn]
+		fmt.Printf("%s: peak %.0f ops/cycle, BW_config %.2f B/cycle, BW_memory %.0f B/cycle, concurrent-config=%t\n",
+			tn, tm.Constants.PeakOps, tm.Constants.BWConfig, tm.Constants.BWMemory, tm.Constants.Concurrent)
+		fmt.Printf("%s: train sizes %v, held-out sizes %v, %d fitted curves\n",
+			tn, tm.TrainSizes, tm.HoldoutSizes, len(tm.Curves))
+	}
+}
+
+// setupFidelity routes the figure sweeps onto the requested prediction
+// tier. screen predicts every cell; topk pre-simulates the K cells with
+// the best predicted ops/cycle across the selected artifacts' grids and
+// renders everything else from predictions (FidelityCached serves the
+// simulated cells from the memo and falls back to the model).
+func setupFidelity(b *bench, name, modelPath string, seed int64, k int, only string, sharded bool) error {
+	switch name {
+	case "", "full":
+		return nil
+	case "screen", "topk":
+	default:
+		return fmt.Errorf("unknown -fidelity %q (valid: full, screen, topk)", name)
+	}
+	if sharded {
+		return fmt.Errorf("-shard precomputes simulated ground truth; it does not combine with -fidelity %s", name)
+	}
+	model, err := loadOrCalibrate(b.runner, modelPath, seed)
+	if err != nil {
+		return err
+	}
+	b.runner.SetPredictor(model)
+	if name == "screen" {
+		b.opts.Fidelity = core.FidelityScreen
+		return nil
+	}
+	grid := figureGrid(b, only)
+	if len(grid) == 0 {
+		return fmt.Errorf("-fidelity topk: no experiment grid to rank (artifact %q has no sweep)", only)
+	}
+	if _, err := b.runner.RunTopK(context.Background(), grid, b.opts, k); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cwbench: fidelity topk: simulated %d of %d grid cells\n", min(k, len(grid)), len(grid))
+	b.opts.Fidelity = core.FidelityCached
+	return nil
+}
+
+// loadOrCalibrate resolves the predictor for -fidelity: a committed model
+// file when given (the fast path — zero simulations before screening), an
+// in-process calibration otherwise. An in-process fit that violates its
+// own band is rejected: silently screening with an out-of-band model
+// would defeat the tier's error contract.
+func loadOrCalibrate(r *core.Runner, path string, seed int64) (*analytic.Model, error) {
+	if path != "" {
+		return analytic.ReadModel(path)
+	}
+	fmt.Fprintf(os.Stderr, "cwbench: no -model given; calibrating in-process (seed %d)\n", seed)
+	model, rep, err := analytic.Calibrate(context.Background(), r, analytic.Spec{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Clean() {
+		return nil, fmt.Errorf("in-process calibration violates its error band:\n%s", rep)
+	}
+	return model, nil
+}

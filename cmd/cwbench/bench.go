@@ -13,12 +13,15 @@ package main
 // mean anything.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
+	"configwall/internal/analytic"
 	"configwall/internal/core"
 	"configwall/internal/mem"
 	"configwall/internal/riscv"
@@ -123,6 +126,37 @@ func suiteCoreRun(b *testing.B) {
 	}
 }
 
+// The analytic bench shares one calibration across testing.Benchmark's
+// repeated invocations — the fit is simulator-paced and must stay outside
+// the timed loop, which measures Predict alone.
+var (
+	analyticBenchOnce  sync.Once
+	analyticBenchModel *analytic.Model
+	analyticBenchErr   error
+)
+
+// suiteAnalyticPredict measures the analytical tier's per-cell cost: the
+// same experiment cell suiteCoreRun simulates, answered without touching
+// the simulator. The derived analytic_speedup_vs_sim_matmul_32 ratio is
+// the multi-fidelity headroom the screening tier trades on.
+func suiteAnalyticPredict(b *testing.B) {
+	analyticBenchOnce.Do(func() {
+		r := core.NewRunner(0)
+		analyticBenchModel, _, analyticBenchErr = analytic.Calibrate(context.Background(), r, analytic.Spec{Seed: 1})
+	})
+	if analyticBenchErr != nil {
+		b.Fatal(analyticBenchErr)
+	}
+	e := core.Experiment{Target: "opengemm", Workload: core.WorkloadMatmul, Pipeline: core.AllOptimizations, N: 32}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analyticBenchModel.Predict(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 var benchSuite = []struct {
 	name string
 	fn   func(b *testing.B)
@@ -133,11 +167,12 @@ var benchSuite = []struct {
 	{"sim_fast_mem", suiteEngine(sim.EngineFast, suiteMemLoop(suiteIters))},
 	{"sim_compiled_mem", suiteEngine(sim.EngineCompiled, suiteMemLoop(suiteIters))},
 	{"core_compiled_matmul_32", suiteCoreRun},
+	{"analytic_predict_matmul_32", suiteAnalyticPredict},
 }
 
 func runBenchSuite() benchReport {
 	rep := benchReport{
-		Schema:  6,
+		Schema:  8,
 		Note:    benchNote,
 		Go:      runtime.Version(),
 		Entries: map[string]benchEntry{},
@@ -162,6 +197,7 @@ func runBenchSuite() benchReport {
 	ratio("compiled_speedup_vs_ref_alu", "sim_ref_alu", "sim_compiled_alu")
 	ratio("compiled_speedup_vs_fast_alu", "sim_fast_alu", "sim_compiled_alu")
 	ratio("compiled_speedup_vs_fast_mem", "sim_fast_mem", "sim_compiled_mem")
+	ratio("analytic_speedup_vs_sim_matmul_32", "core_compiled_matmul_32", "analytic_predict_matmul_32")
 	return rep
 }
 
@@ -230,7 +266,7 @@ func runBenchMode(jsonPath, comparePath string) {
 		e := rep.Entries[s.name]
 		fmt.Printf("%-24s %14.0f ns/op %8d B/op %6d allocs/op\n", s.name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
-	for _, name := range []string{"fast_speedup_vs_ref_alu", "compiled_speedup_vs_ref_alu", "compiled_speedup_vs_fast_alu", "compiled_speedup_vs_fast_mem"} {
+	for _, name := range []string{"fast_speedup_vs_ref_alu", "compiled_speedup_vs_ref_alu", "compiled_speedup_vs_fast_alu", "compiled_speedup_vs_fast_mem", "analytic_speedup_vs_sim_matmul_32"} {
 		if v, ok := rep.Derived[name]; ok {
 			fmt.Printf("%-28s %6.2fx\n", name, v)
 		}

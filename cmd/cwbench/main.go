@@ -15,7 +15,12 @@
 //	cwbench -memprofile heap.pprof -only fig11  # post-GC heap profile at exit
 //	cwbench -alloc-stats       # per-figure allocs/op and B/op on stderr
 //	cwbench -bench-json BENCH.json            # micro-suite report (JSON)
-//	cwbench -bench-compare BENCH_6.json       # fail on >20% regression
+//	cwbench -bench-compare BENCH_8.json       # fail on >20% regression
+//	cwbench -calibrate model.json             # fit the analytical tier,
+//	                                          # print constants + held-out
+//	                                          # error report, write model
+//	cwbench -fidelity screen -model model.json -only fig11  # zero-sim sweep
+//	cwbench -fidelity topk -topk 8 -model model.json -only fig11
 //
 // All experiment cells run on one shared concurrent runner, so artifacts
 // that revisit a cell (Figure 11 and Figure 12 share their base/all cells)
@@ -169,6 +174,11 @@ func main() {
 	allocStats := flag.Bool("alloc-stats", false, "report per-figure allocation statistics (allocs/op, B/op) on stderr")
 	benchJSON := flag.String("bench-json", "", "run the fixed micro-benchmark suite, write a JSON report to this file, and exit")
 	benchCompare := flag.String("bench-compare", "", "run the micro-benchmark suite and exit non-zero on >20% regression against this baseline JSON")
+	calibrate := flag.String("calibrate", "", "fit the analytical tier against the simulator, print constants + held-out error report, write the model JSON here, and exit (non-zero on band violation)")
+	calibrateSeed := flag.Int64("calibrate-seed", 1, "train/holdout split seed for -calibrate and in-process -fidelity calibration")
+	fidelity := flag.String("fidelity", "full", "prediction tier for figure sweeps (full|screen|topk, DESIGN.md §10)")
+	topK := flag.Int("topk", 8, "cells simulated per figure grid with -fidelity topk")
+	modelPath := flag.String("model", "", "calibrated analytic model JSON for -fidelity screen/topk (empty = calibrate in-process first)")
 	flag.Parse()
 
 	if *benchJSON != "" || *benchCompare != "" {
@@ -247,6 +257,16 @@ func main() {
 			}
 			b.sizes = append(b.sizes, n)
 		}
+	}
+
+	if *calibrate != "" {
+		if err := runCalibrate(b.runner, *calibrate, *calibrateSeed); err != nil {
+			fatal("-calibrate: %v", err)
+		}
+		return
+	}
+	if err := setupFidelity(b, *fidelity, *modelPath, *calibrateSeed, *topK, *only, *shardSpec != ""); err != nil {
+		fatal("%v", err)
 	}
 
 	if *shardSpec != "" {

@@ -23,7 +23,11 @@
 //	     NDJSON: one {"index","experiment","result"|"error"} event per
 //	     cell in completion order, then {"done":true,"cells","failed"}.
 //	     With "stream":false the response is one JSON array in input
-//	     order.
+//	     order. With -analytic the request may add "fidelity":"screen"
+//	     (every cell answered analytically, zero simulations) or
+//	     "fidelity":"topk" with "top_k":K (only the K best-predicted
+//	     cells simulated); per-tier cell counts are exported as
+//	     cwserve_sweep_cells_total{tier="analytic"|"simulated"}.
 //	GET  /v1/registry
 //	     Registered targets, workloads, pipelines and engines.
 //	GET  /metrics
@@ -60,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"configwall/internal/analytic"
 	"configwall/internal/core"
 	"configwall/internal/serve"
 	"configwall/internal/store"
@@ -77,6 +82,9 @@ func main() {
 	maxN := flag.Int("max-n", 0, "cap on any requested sweep size n (0 = default 1024)")
 	noWarm := flag.Bool("no-warm", false, "skip preloading the in-memory cache from -cache-dir at boot")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on SIGTERM")
+	analyticFit := flag.Bool("analytic", false, "calibrate the analytical prediction tier at boot (enables /v1/sweep fidelity screen/topk)")
+	analyticModel := flag.String("analytic-model", "", "load a calibrated analytic model JSON (cwbench -calibrate) instead of fitting at boot; implies -analytic")
+	analyticSeed := flag.Int64("analytic-seed", 1, "train/holdout split seed for the boot-time -analytic calibration")
 	flag.Parse()
 
 	ropts := core.RunnerOptions{Workers: *workers, MaxCells: *maxCells}
@@ -89,6 +97,12 @@ func main() {
 		ropts.Store = st
 	}
 	runner := core.NewRunnerWith(ropts)
+
+	if *analyticFit || *analyticModel != "" {
+		if err := attachAnalytic(runner, *analyticModel, *analyticSeed); err != nil {
+			fatal("%v", err)
+		}
+	}
 
 	sv, err := serve.New(serve.Options{
 		Runner:        runner,
@@ -132,6 +146,38 @@ func main() {
 	}
 	sv.Close()
 	logf("drained; %s", runner.Snapshot())
+}
+
+// attachAnalytic installs the analytical prediction tier on the runner:
+// a committed model file when given, a boot-time calibration against the
+// simulator otherwise. A calibration that violates its own error band is
+// fatal — a daemon must not screen sweeps with an out-of-band model. With
+// -cache-dir the calibration cells land in the store, so the next boot's
+// fit re-simulates nothing.
+func attachAnalytic(runner *core.Runner, modelPath string, seed int64) error {
+	if modelPath != "" {
+		model, err := analytic.ReadModel(modelPath)
+		if err != nil {
+			return err
+		}
+		runner.SetPredictor(model)
+		logf("analytic tier loaded from %s (calibration seed %d)", modelPath, model.Seed)
+		return nil
+	}
+	logf("calibrating analytic tier (seed %d)", seed)
+	model, rep, err := analytic.Calibrate(context.Background(), runner, analytic.Spec{Seed: seed})
+	if err != nil {
+		return err
+	}
+	if !rep.Clean() {
+		return fmt.Errorf("boot calibration violates its error band:\n%s", rep)
+	}
+	for _, tr := range rep.Targets {
+		logf("analytic %s: %d held-out cells, geomean cycle error %.1f%%, max %.1f%%",
+			tr.Target, len(tr.Cells), 100*tr.GeomeanErr, 100*tr.MaxErr)
+	}
+	runner.SetPredictor(model)
+	return nil
 }
 
 func logf(format string, args ...any) {

@@ -45,6 +45,7 @@ package configwall
 import (
 	"context"
 
+	"configwall/internal/analytic"
 	"configwall/internal/core"
 	"configwall/internal/difftest"
 	"configwall/internal/irgen"
@@ -250,6 +251,69 @@ func EffectiveConfigBW(configBytes, tCalc, tSet float64) float64 {
 
 // Geomean returns the geometric mean, the paper's summary statistic.
 func Geomean(xs []float64) float64 { return core.Geomean(xs) }
+
+// --- The analytical prediction tier (internal/analytic) ---
+//
+// The simulation-free third tier of DESIGN.md §10: per-target roofline
+// constants plus per-(workload, pipeline) curves fitted against the
+// simulator on a seeded training grid and validated on held-out cells.
+// A calibrated model plugs into a Runner as its Predictor, unlocking
+// multi-fidelity sweeps (screen / top-K) that answer most cells in
+// microseconds.
+
+// Fidelity selects a Run's prediction tier: FidelityFull simulates
+// (memoized + stored), FidelityScreen answers purely analytically, and
+// FidelityCached serves cached ground truth or falls back to a prediction.
+type Fidelity = core.Fidelity
+
+// Fidelity tiers; parse wire names with FidelityByName.
+const (
+	FidelityFull   = core.FidelityFull
+	FidelityScreen = core.FidelityScreen
+	FidelityCached = core.FidelityCached
+)
+
+// FidelityByName resolves a fidelity tier from its wire name ("full",
+// "screen" or "cached").
+func FidelityByName(name string) (Fidelity, error) { return core.FidelityByName(name) }
+
+// Predictor is a simulation-free estimator of experiment results; install
+// one on a Runner (RunnerOptions.Predictor or Runner.SetPredictor) to
+// serve FidelityScreen/FidelityCached requests.
+type Predictor = core.Predictor
+
+// AnalyticModel is a calibrated analytical-tier model; it implements
+// Predictor and round-trips through JSON (WriteFile / ReadAnalyticModel).
+type AnalyticModel = analytic.Model
+
+// AnalyticSpec configures one calibration run (grid, seed, error band).
+type AnalyticSpec = analytic.Spec
+
+// AnalyticBand is the documented held-out prediction error band.
+type AnalyticBand = analytic.Band
+
+// AnalyticReport is the held-out error report of one calibration run;
+// Clean reports whether every target honors the band.
+type AnalyticReport = analytic.Report
+
+// CalibrateAnalytic fits the analytical tier against the simulator on a
+// seeded training grid and validates it on held-out cells. The returned
+// model is usable regardless of band violations; callers that must
+// enforce the band check Report.Clean.
+func CalibrateAnalytic(ctx context.Context, r *Runner, spec AnalyticSpec) (*AnalyticModel, *AnalyticReport, error) {
+	return analytic.Calibrate(ctx, r, spec)
+}
+
+// ReadAnalyticModel loads a model written by AnalyticModel.WriteFile (or
+// cwbench -calibrate).
+func ReadAnalyticModel(path string) (*AnalyticModel, error) { return analytic.ReadModel(path) }
+
+// TopKByPredictedPerf ranks predicted results by ops/cycle and returns
+// the indices of the k best, in ascending input order — the selection
+// half of a multi-fidelity sweep (see Runner.Screen and Runner.RunTopK).
+func TopKByPredictedPerf(preds []Result, k int) []int {
+	return core.TopKByPredictedPerf(preds, k)
+}
 
 // --- Differential verification (internal/irgen + internal/difftest) ---
 //

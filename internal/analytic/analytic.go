@@ -1,0 +1,348 @@
+// Package analytic is the simulation-free prediction tier (DESIGN.md
+// §10): it estimates experiment Results — cycles, configuration-write
+// cycles, overlap savings — for any (target × workload × pipeline × size)
+// cell in microseconds, from per-target roofline constants plus
+// per-(workload, pipeline) overhead curves fitted against the real
+// co-simulator on a seeded training grid. FLASH-style multi-fidelity
+// flows (core.Runner.Screen / RunTopK, cwserve sweep fidelities) query
+// this tier for the full grid and pay for simulation only on the
+// predicted winners; a standing difftest/cwfuzz invariant
+// (KindAnalyticBounds) re-checks the held-out error band forever after.
+//
+// The fit basis is structural, not polynomial-in-n: every counter the
+// simulator reports is (to first order) an affine combination of the
+// cell's launch count, per-launch reduction length, tile geometry and
+// total MAC count, all of which are closed-form functions of the
+// workload shape and the target's documented tiling rules
+// (workload.Tiling via Target.MatmulTiling). That makes the tier robust
+// to the launch-count discontinuities square polynomial fits cannot see
+// (e.g. gemmini's tile edge dropping from 64 to 32 as divisibility
+// changes). A fitted model therefore needs the target registry at
+// prediction time — it stores coefficients, not the tiling rules.
+package analytic
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"configwall/internal/core"
+	"configwall/internal/workload"
+)
+
+// Schema versions the fitted-model serialization; bump on any change to
+// the fit basis or the prediction formula, so a stale constants file is
+// rejected instead of silently mispredicting.
+const Schema = 1
+
+// numFeatures is the length of the structural feature vector: see
+// features().
+const numFeatures = 6
+
+// metricNames are the fitted counters, in serialization order. Cycles is
+// deliberately absent: it is predicted structurally from these fits plus
+// a log-space residual (see Curve.Residual), not fitted directly.
+var metricNames = []string{
+	"accel_busy",
+	"accel_ops",
+	"calc_cycles",
+	"config_bytes",
+	"config_cycles",
+	"config_instrs",
+	"host_instrs",
+	"launches",
+	"stall_cycles",
+	"sync_cycles",
+}
+
+// metricValue extracts one fitted counter from a simulated result.
+func metricValue(res core.Result, name string) float64 {
+	switch name {
+	case "accel_busy":
+		return float64(res.AccelBusyCycles)
+	case "accel_ops":
+		return float64(res.AccelOps)
+	case "calc_cycles":
+		return float64(res.CalcCycles)
+	case "config_bytes":
+		return float64(res.ConfigBytes)
+	case "config_cycles":
+		return float64(res.ConfigCycles)
+	case "config_instrs":
+		return float64(res.ConfigInstrs)
+	case "host_instrs":
+		return float64(res.HostInstrs)
+	case "launches":
+		return float64(res.Launches)
+	case "stall_cycles":
+		return float64(res.StallCycles)
+	case "sync_cycles":
+		return float64(res.SyncCycles)
+	}
+	return 0
+}
+
+// features computes the structural feature vector of one cell from the
+// workload shape and the target's closed-form tiling — no IR is built,
+// nothing is simulated. The basis is
+//
+//	[1, L, L·K, L·(TM+TN)/2, L·TM·TN, 2·M·K·N]
+//
+// where L is the launch count, TM×TN the output tile, K the per-launch
+// reduction length and 2·M·K·N the total MAC ops: constant overheads,
+// per-launch costs (config writes, syncs, launch setup), per-launch
+// costs linear or bilinear in the tile edges (mvin/mvout rows), and pure
+// compute time respectively. Simulated per-cell costs are affine in this
+// basis, so the fits interpolate *and* track launch-count
+// discontinuities exactly.
+func features(tn, wn string, n int) ([]float64, error) {
+	shape, ok := workload.ShapeByName(wn)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload shape %q", wn)
+	}
+	mDim, kDim, nDim := shape.Dims(n)
+	tgt, err := core.LookupTarget(tn)
+	if err != nil {
+		return nil, err
+	}
+	if tgt.MatmulTiling == nil {
+		return nil, fmt.Errorf("target %q has no closed-form tiling", tn)
+	}
+	til, err := tgt.MatmulTiling(mDim, kDim, nDim)
+	if err != nil {
+		return nil, err
+	}
+	launches := float64(til.Launches)
+	tileM, tileN := float64(til.TileM), float64(til.TileN)
+	ops := 2 * float64(mDim) * float64(kDim) * float64(nDim)
+	return []float64{
+		1,
+		launches,
+		launches * float64(kDim),
+		launches * (tileM + tileN) / 2,
+		launches * tileM * tileN,
+		ops,
+	}, nil
+}
+
+// Constants are the per-target roofline parameters the structural cycle
+// estimate is built from (paper §4) — copied from the target registry at
+// calibration time so a saved model documents the hardware it was fitted
+// for.
+type Constants struct {
+	// PeakOps is peak performance in ops/cycle.
+	PeakOps float64 `json:"peak_ops"`
+	// BWConfig is the raw configuration bandwidth in bytes/cycle.
+	BWConfig float64 `json:"bw_config"`
+	// BWMemory is the memory bandwidth in bytes/cycle.
+	BWMemory float64 `json:"bw_memory"`
+	// Concurrent marks concurrent-configuration hardware (Eq. 2 vs Eq. 3).
+	Concurrent bool `json:"concurrent"`
+}
+
+// Curve holds the fitted terms of one (workload, pipeline) cell family.
+type Curve struct {
+	// Scale normalizes sizes for the residual: it evaluates in
+	// t = log(n/Scale). Set to the largest training size.
+	Scale float64 `json:"scale"`
+	// Metrics maps a counter name (metricNames) to its weighted linear
+	// fit coefficients over the structural feature basis (features()).
+	Metrics map[string][]float64 `json:"metrics"`
+	// Residual is the log-space quadratic correction applied to the
+	// structural cycle estimate: cycles = structural · exp(q(log(n/Scale))).
+	// It absorbs what the structural terms cannot see — second-order
+	// stall/overlap interleaving and pipeline-specific warmup effects.
+	Residual [3]float64 `json:"residual"`
+}
+
+// metric evaluates one fitted counter on a feature row, clamped
+// non-negative.
+func (c Curve) metric(name string, row []float64) float64 {
+	coef, ok := c.Metrics[name]
+	if !ok {
+		return 0
+	}
+	v := evalLinear(coef, row)
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// TargetModel is the calibrated model of one registered target.
+type TargetModel struct {
+	Constants Constants `json:"constants"`
+	// TrainSizes and HoldoutSizes record the calibration split (sorted),
+	// so the documented error band is auditable: predictions were never
+	// validated on cells they were fitted against.
+	TrainSizes   []int `json:"train_sizes"`
+	HoldoutSizes []int `json:"holdout_sizes"`
+	// Curves maps "workload/pipeline" (CurveKey) to its fitted terms.
+	Curves map[string]Curve `json:"curves"`
+}
+
+// Model is a calibrated analytical predictor. It satisfies
+// core.Predictor; a zero Model predicts nothing. Models are immutable
+// after calibration and safe for concurrent use.
+type Model struct {
+	// Schema must equal the package Schema for the model to be loaded.
+	Schema int `json:"schema"`
+	// Seed is the calibration split seed (refitting with the same seed
+	// on the same simulator is byte-identical).
+	Seed int64 `json:"seed"`
+	// Band is the documented error band the model was validated against.
+	Band Band `json:"band"`
+	// Targets maps target name to its calibrated model.
+	Targets map[string]*TargetModel `json:"targets"`
+}
+
+// CurveKey names the per-(workload, pipeline) curve map entry.
+func CurveKey(workload string, p core.Pipeline) string {
+	return workload + "/" + p.String()
+}
+
+// TargetNames lists the calibrated targets, sorted.
+func (m *Model) TargetNames() []string {
+	names := make([]string, 0, len(m.Targets))
+	for n := range m.Targets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Predict estimates the result of one experiment cell without simulating.
+// The returned Result is marked Analytic; its counters are model
+// estimates whose cycle error is bounded by the calibrated Band on
+// held-out cells inside the training size range (extrapolation beyond it
+// is screening-grade only — see DESIGN.md §10).
+func (m *Model) Predict(e core.Experiment) (core.Result, error) {
+	tm := m.Targets[e.Target]
+	if tm == nil {
+		return core.Result{}, fmt.Errorf("analytic: target %q not calibrated (calibrated: %v)", e.Target, m.TargetNames())
+	}
+	if e.N < 1 {
+		return core.Result{}, fmt.Errorf("analytic: %s: non-positive size", e)
+	}
+	key := CurveKey(e.Workload, e.Pipeline)
+	c, ok := tm.Curves[key]
+	if !ok {
+		return core.Result{}, fmt.Errorf("analytic: %s: no calibrated curve %q", e, key)
+	}
+	row, err := features(e.Target, e.Workload, e.N)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("analytic: %s: %w", e, err)
+	}
+
+	ops := c.metric("accel_ops", row)
+	calc := c.metric("calc_cycles", row)
+	cfgCycles := c.metric("config_cycles", row)
+	syncCycles := c.metric("sync_cycles", row)
+	stall := c.metric("stall_cycles", row)
+	peak := tm.Constants.PeakOps
+	if peak <= 0 {
+		return core.Result{}, fmt.Errorf("analytic: %s: non-positive calibrated peak", e)
+	}
+
+	// Structural estimate: the simulator's exact end-to-end decomposition
+	// Cycles = T_set + T_calc + T_sync + T_stall, each term fitted on the
+	// structural basis. The multiplicative residual absorbs whatever
+	// second-order effects the affine terms miss.
+	structural := cfgCycles + calc + syncCycles + stall
+	cycles := structural
+	if structural > 0 && c.Scale > 0 {
+		cycles = structural * math.Exp(evalQuadratic(c.Residual, math.Log(float64(e.N)/c.Scale)))
+	}
+	// The accelerator cannot beat its own peak: never predict below the
+	// pure compute bound, and never below one cycle.
+	if lower := ops / peak; cycles < lower {
+		cycles = lower
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+
+	res := core.Result{
+		Target:   e.Target,
+		Workload: e.Workload,
+		Pipeline: e.Pipeline,
+		N:        e.N,
+		PeakOps:  peak,
+		Analytic: true,
+	}
+	res.Cycles = toCount(cycles)
+	res.HostCycles = toCount(cfgCycles + calc + syncCycles)
+	res.StallCycles = toCount(stall)
+	res.SyncCycles = toCount(syncCycles)
+	res.AccelOps = toCount(ops)
+	res.AccelBusyCycles = toCount(c.metric("accel_busy", row))
+	res.CalcCycles = toCount(calc)
+	res.ConfigCycles = toCount(cfgCycles)
+	res.ConfigBytes = toCount(c.metric("config_bytes", row))
+	res.ConfigInstrs = toCount(c.metric("config_instrs", row))
+	res.HostInstrs = toCount(c.metric("host_instrs", row))
+	res.Launches = toCount(c.metric("launches", row))
+	return res, nil
+}
+
+// PredictedSavings returns the predicted cycle savings of running a cell
+// under pipeline `to` instead of pipeline `from` (e.g. Baseline →
+// OverlapOnly quantifies overlap savings). Negative savings mean the
+// model predicts a slowdown.
+func (m *Model) PredictedSavings(target, workload string, from, to core.Pipeline, n int) (float64, error) {
+	a, err := m.Predict(core.Experiment{Target: target, Workload: workload, Pipeline: from, N: n})
+	if err != nil {
+		return 0, err
+	}
+	b, err := m.Predict(core.Experiment{Target: target, Workload: workload, Pipeline: to, N: n})
+	if err != nil {
+		return 0, err
+	}
+	return float64(a.Cycles) - float64(b.Cycles), nil
+}
+
+// toCount rounds a non-negative model estimate to a counter value.
+func toCount(v float64) uint64 {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	return uint64(v + 0.5)
+}
+
+// MarshalPretty serializes the model deterministically (sorted map keys,
+// stable float formatting): refitting with the same seed against the
+// same simulator yields byte-identical output.
+func (m *Model) MarshalPretty() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile saves the model to path.
+func (m *Model) WriteFile(path string) error {
+	b, err := m.MarshalPretty()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadModel loads a fitted model from path, rejecting schema mismatches.
+func ReadModel(path string) (*Model, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Model
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("analytic: %s: %w", path, err)
+	}
+	if m.Schema != Schema {
+		return nil, fmt.Errorf("analytic: %s: schema %d, want %d (refit with cwbench -calibrate)", path, m.Schema, Schema)
+	}
+	return &m, nil
+}

@@ -1,0 +1,173 @@
+package analytic
+
+// Least-squares machinery for the analytical tier. Two fit shapes cover
+// every calibrated curve:
+//
+//   - fitLinear: weighted ridge least squares of a counter against the
+//     structural feature vector of the cell (see features() in
+//     analytic.go: launch count, per-launch reduction length, tile
+//     terms, total MACs). The workloads are tiled matmuls whose costs
+//     are affine combinations of exactly these quantities, so the basis
+//     is the physics, not an approximation. Weights 1/max(y,1)² make the
+//     fit minimize *relative* error (an n=32 cell counts as much as an
+//     n=256 cell); a tiny relative ridge keeps collinear features (e.g.
+//     fixed-tile targets, where L·T is a multiple of L) harmless.
+//
+//   - fitQuadratic: unweighted least squares on [1, t, t²] in t = log u,
+//     used for the multiplicative cycle residual (log of the ratio
+//     between simulated cycles and the structural estimate), which is a
+//     smooth, slowly-bending function of log size.
+//
+// Both reduce to small dense normal equations solved by Gaussian
+// elimination with partial pivoting — no external solver dependency.
+
+import (
+	"fmt"
+	"math"
+)
+
+// ridgeLambda is the relative Tikhonov term added to the normal-equation
+// diagonal: large enough to absorb exactly-collinear feature columns,
+// small enough (≤1e-6 relative shrinkage) to leave real fits untouched.
+const ridgeLambda = 1e-6
+
+// fitLinear returns the weighted ridge least-squares coefficients c of
+// y ≈ Σ c_j · x_j with weights 1/max(|y|,1)².
+func fitLinear(xs [][]float64, ys []float64) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("fitLinear: %d feature rows vs %d samples", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("fitLinear: no samples")
+	}
+	k := len(xs[0])
+	if len(xs) < k {
+		return nil, fmt.Errorf("fitLinear: %d samples for %d coefficients", len(xs), k)
+	}
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k)
+	}
+	b := make([]float64, k)
+	for i, row := range xs {
+		if len(row) != k {
+			return nil, fmt.Errorf("fitLinear: ragged feature row %d", i)
+		}
+		w := 1.0
+		if y := math.Abs(ys[i]); y > 1 {
+			w = 1 / (y * y)
+		}
+		for j := 0; j < k; j++ {
+			for l := 0; l < k; l++ {
+				a[j][l] += w * row[j] * row[l]
+			}
+			b[j] += w * row[j] * ys[i]
+		}
+	}
+	for j := 0; j < k; j++ {
+		a[j][j] *= 1 + ridgeLambda
+	}
+	sol, err := solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("fitLinear: %w", err)
+	}
+	return sol, nil
+}
+
+// evalLinear evaluates the fit on one feature row.
+func evalLinear(c, row []float64) float64 {
+	if len(c) != len(row) {
+		return 0
+	}
+	s := 0.0
+	for i, v := range row {
+		s += c[i] * v
+	}
+	return s
+}
+
+// fitQuadratic returns the least-squares coefficients of
+// z ≈ q0 + q1·t + q2·t².
+func fitQuadratic(ts, zs []float64) ([3]float64, error) {
+	var q [3]float64
+	if len(ts) != len(zs) {
+		return q, fmt.Errorf("fitQuadratic: %d abscissae vs %d samples", len(ts), len(zs))
+	}
+	if len(ts) < 3 {
+		return q, fmt.Errorf("fitQuadratic: %d samples for 3 coefficients", len(ts))
+	}
+	a := make([][]float64, 3)
+	for i := range a {
+		a[i] = make([]float64, 3)
+	}
+	b := make([]float64, 3)
+	for i, t := range ts {
+		basis := [3]float64{1, t, t * t}
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				a[j][k] += basis[j] * basis[k]
+			}
+			b[j] += basis[j] * zs[i]
+		}
+	}
+	sol, err := solve(a, b)
+	if err != nil {
+		return q, fmt.Errorf("fitQuadratic: %w", err)
+	}
+	copy(q[:], sol)
+	return q, nil
+}
+
+// evalQuadratic evaluates the quadratic fit at t.
+func evalQuadratic(q [3]float64, t float64) float64 {
+	return q[0] + t*(q[1]+t*q[2])
+}
+
+// solve performs in-place Gaussian elimination with partial pivoting on
+// the square system a·x = b. Singularity is judged relative to the
+// matrix's own magnitude: relative-error weights scale the normal
+// equations by ~1/y², so absolute entry sizes carry no rank information.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	norm := 0.0
+	for _, row := range a {
+		for _, v := range row {
+			if av := math.Abs(v); av > norm {
+				norm = av
+			}
+		}
+	}
+	if norm == 0 {
+		return nil, fmt.Errorf("singular normal equations (zero matrix)")
+	}
+	eps := norm * 1e-14
+	for col := 0; col < n; col++ {
+		pivot := col
+		for row := col + 1; row < n; row++ {
+			if math.Abs(a[row][col]) > math.Abs(a[pivot][col]) {
+				pivot = row
+			}
+		}
+		if math.Abs(a[pivot][col]) < eps {
+			return nil, fmt.Errorf("singular normal equations (column %d)", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for row := col + 1; row < n; row++ {
+			f := a[row][col] / a[col][col]
+			for k := col; k < n; k++ {
+				a[row][k] -= f * a[col][k]
+			}
+			b[row] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for row := n - 1; row >= 0; row-- {
+		s := b[row]
+		for k := row + 1; k < n; k++ {
+			s -= a[row][k] * x[k]
+		}
+		x[row] = s / a[row][row]
+	}
+	return x, nil
+}

@@ -102,6 +102,11 @@ type Target struct {
 	// matmul-family workload (matmul, rectmm, matvec) without further
 	// registration.
 	MatmulMKN func(mDim, kDim, nDim int) (*ir.Module, error)
+	// MatmulTiling optionally reports the launch structure MatmulMKN
+	// would generate, as closed-form arithmetic — no IR is built. The
+	// analytical tier (internal/analytic) derives its prediction
+	// features from it; a target without the hook cannot be calibrated.
+	MatmulTiling func(mDim, kDim, nDim int) (workload.Tiling, error)
 	// OutputBytes is the size of one output element the accelerator
 	// stores (1 for int8, 4 for int32); workload builders consult it.
 	OutputBytes int
@@ -112,13 +117,14 @@ type Target struct {
 // (paper §4.6, §6.1).
 func GemminiTarget() Target {
 	return Target{
-		Name:       gemmini.Name,
-		Concurrent: false,
-		PeakOps:    gemmini.PeakOpsPerCycle,
-		NewDevice:  func() accel.Device { return gemmini.New(gemmini.DefaultCost()) },
-		Cost:       riscv.RocketCost(),
-		Lowering:   lower.AccfgToGemmini,
-		MatmulMKN:  workload.GemminiTiledMatmulMKN,
+		Name:         gemmini.Name,
+		Concurrent:   false,
+		PeakOps:      gemmini.PeakOpsPerCycle,
+		NewDevice:    func() accel.Device { return gemmini.New(gemmini.DefaultCost()) },
+		Cost:         riscv.RocketCost(),
+		Lowering:     lower.AccfgToGemmini,
+		MatmulMKN:    workload.GemminiTiledMatmulMKN,
+		MatmulTiling: workload.GemminiMatmulTiling,
 		RawConfigBW: func(c riscv.CostModel) float64 {
 			// 16 bytes per RoCC instruction; ~3 instructions (2 register
 			// loads + 1 custom) at the host CPI.
@@ -133,13 +139,14 @@ func GemminiTarget() Target {
 // configuration, 1024 ops/cycle, tiny in-order host (paper §6.2).
 func OpenGeMMTarget() Target {
 	return Target{
-		Name:       opengemm.Name,
-		Concurrent: true,
-		PeakOps:    opengemm.PeakOpsPerCycle,
-		NewDevice:  func() accel.Device { return opengemm.New(opengemm.DefaultCost()) },
-		Cost:       riscv.SnitchCost(),
-		Lowering:   lower.AccfgToOpenGeMM,
-		MatmulMKN:  workload.OpenGeMMTiledMatmulMKN,
+		Name:         opengemm.Name,
+		Concurrent:   true,
+		PeakOps:      opengemm.PeakOpsPerCycle,
+		NewDevice:    func() accel.Device { return opengemm.New(opengemm.DefaultCost()) },
+		Cost:         riscv.SnitchCost(),
+		Lowering:     lower.AccfgToOpenGeMM,
+		MatmulMKN:    workload.OpenGeMMTiledMatmulMKN,
+		MatmulTiling: workload.OpenGeMMMatmulTiling,
 		RawConfigBW: func(c riscv.CostModel) float64 {
 			// 4 bytes per CSR write; ~2 instructions (1 value setup + 1
 			// csrw).
@@ -221,6 +228,12 @@ type Result struct {
 	Trace []sim.Segment
 	// PeakOps echoes the target's peak for convenience.
 	PeakOps float64
+	// Analytic marks a simulation-free result produced by a calibrated
+	// Predictor (DESIGN.md §10): counters are model estimates inside a
+	// documented error band, Verified is necessarily false, and the cell
+	// was never compiled or simulated. Omitted from JSON when false so
+	// simulated results keep their byte-identical serving encoding.
+	Analytic bool `json:"Analytic,omitempty"`
 }
 
 // AttainableEq3 applies the paper's Figure 10 methodology: plug the
@@ -248,6 +261,52 @@ type RunOptions struct {
 	// cached and fingerprinted separately so cross-engine comparisons
 	// never serve one engine's run to the other.
 	Engine sim.Engine
+	// Fidelity selects how much simulation a Runner invests in the
+	// answer (default FidelityFull). Deliberately excluded from cache
+	// keys and store fingerprints: predictions are never memoized or
+	// persisted, so fidelity is a per-request routing decision, not part
+	// of a cell's identity.
+	Fidelity Fidelity
+}
+
+// Fidelity is a Runner's per-request answer tier (DESIGN.md §10).
+type Fidelity int
+
+const (
+	// FidelityFull compiles and simulates (memoized + stored) — the
+	// default and the only tier that produces ground truth.
+	FidelityFull Fidelity = iota
+	// FidelityScreen never simulates: the answer is an analytical
+	// prediction from the runner's calibrated Predictor, even when a
+	// simulated result is already cached.
+	FidelityScreen
+	// FidelityCached serves a memoized or stored simulated result when
+	// one exists and otherwise falls back to an analytical prediction
+	// instead of simulating.
+	FidelityCached
+)
+
+func (f Fidelity) String() string {
+	switch f {
+	case FidelityScreen:
+		return "screen"
+	case FidelityCached:
+		return "cached"
+	}
+	return "full"
+}
+
+// FidelityByName resolves a fidelity tier from its wire name.
+func FidelityByName(name string) (Fidelity, error) {
+	switch name {
+	case "", "full":
+		return FidelityFull, nil
+	case "screen":
+		return FidelityScreen, nil
+	case "cached":
+		return FidelityCached, nil
+	}
+	return FidelityFull, fmt.Errorf("unknown fidelity %q (valid: full, screen, cached)", name)
 }
 
 const (

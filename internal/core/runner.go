@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"configwall/internal/sim"
@@ -97,6 +98,15 @@ type lruEntry struct {
 	c   *cell
 }
 
+// Predictor is a simulation-free estimator of experiment results — the
+// analytical tier of DESIGN.md §10 (implemented by internal/analytic).
+// Predict must be safe for concurrent use, mark returned results
+// Analytic, and answer in microseconds; the runner never caches or
+// persists what it returns.
+type Predictor interface {
+	Predict(e Experiment) (Result, error)
+}
+
 // RunnerOptions configures a Runner beyond the worker-pool bound.
 type RunnerOptions struct {
 	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS.
@@ -107,6 +117,9 @@ type RunnerOptions struct {
 	// MaxCells bounds the in-memory cell map (LRU eviction); <= 0 means
 	// unbounded. Evicted cells fall back to the Store (or recompute).
 	MaxCells int
+	// Predictor, when non-nil, serves FidelityScreen/FidelityCached
+	// requests analytically. A runner without one rejects those tiers.
+	Predictor Predictor
 }
 
 // Runner executes experiments on a bounded worker pool with a
@@ -121,10 +134,11 @@ type Runner struct {
 	store    Store
 	maxCells int
 
-	mu    sync.Mutex
-	cells map[cacheKey]*list.Element
-	lru   *list.List // front = most recently used *lruEntry
-	stats CacheStats
+	mu        sync.Mutex
+	cells     map[cacheKey]*list.Element
+	lru       *list.List // front = most recently used *lruEntry
+	stats     CacheStats
+	predictor Predictor
 }
 
 // NewRunner returns a runner with the given worker-pool bound; workers <= 0
@@ -140,11 +154,12 @@ func NewRunnerWith(opts RunnerOptions) *Runner {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Runner{
-		workers:  workers,
-		store:    opts.Store,
-		maxCells: opts.MaxCells,
-		cells:    map[cacheKey]*list.Element{},
-		lru:      list.New(),
+		workers:   workers,
+		store:     opts.Store,
+		maxCells:  opts.MaxCells,
+		cells:     map[cacheKey]*list.Element{},
+		lru:       list.New(),
+		predictor: opts.Predictor,
 	}
 }
 
@@ -153,6 +168,22 @@ func (r *Runner) Workers() int { return r.workers }
 
 // Store returns the persistent backend, or nil.
 func (r *Runner) Store() Store { return r.store }
+
+// Predictor returns the analytical tier, or nil.
+func (r *Runner) Predictor() Predictor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.predictor
+}
+
+// SetPredictor installs (or clears) the analytical tier; safe while the
+// runner is serving. Calibration flows use it to attach a freshly fitted
+// model to a long-lived runner.
+func (r *Runner) SetPredictor(p Predictor) {
+	r.mu.Lock()
+	r.predictor = p
+	r.mu.Unlock()
+}
 
 // CacheSize returns the number of memoized experiment cells.
 func (r *Runner) CacheSize() int {
@@ -211,9 +242,41 @@ func (r *Runner) bump(f func(*CacheStats)) {
 // context is already cancelled returns immediately — but once a goroutine
 // has claimed a cell it computes to completion (the deterministic result
 // serves every later request, including requests whose owner gave up).
+//
+// opts.Fidelity routes the request before the memo machinery:
+// FidelityScreen answers purely analytically (never touching cells or the
+// store, never simulating), and FidelityCached serves an existing
+// memoized/stored result or falls back to a prediction. Predictions are
+// never memoized — the cell map holds only simulated ground truth.
 func (r *Runner) Run(ctx context.Context, e Experiment, opts RunOptions) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
+	}
+	switch opts.Fidelity {
+	case FidelityScreen:
+		return r.predict(e)
+	case FidelityCached:
+		full := opts
+		full.Fidelity = FidelityFull
+		if res, ok := r.Peek(e, full); ok {
+			return *res, nil
+		}
+		if r.store != nil {
+			res, ok, err := r.store.Load(e, full)
+			switch {
+			case err != nil:
+				r.bump(func(s *CacheStats) { s.StoreErrors++ })
+			case ok:
+				r.bump(func(s *CacheStats) { s.StoreHits++ })
+				// Publish for the next request; a racing claim wins and
+				// this copy is discarded.
+				r.Preload(e, full, res)
+				return res, nil
+			default:
+				r.bump(func(s *CacheStats) { s.StoreMisses++ })
+			}
+		}
+		return r.predict(e)
 	}
 	c, _ := r.cell(keyOf(e, opts))
 	if c.claim() {
@@ -286,6 +349,95 @@ func (r *Runner) compute(e Experiment, opts RunOptions) (Result, error) {
 		}
 	}
 	return res, err
+}
+
+// predict answers one experiment from the analytical tier.
+func (r *Runner) predict(e Experiment) (Result, error) {
+	p := r.Predictor()
+	if p == nil {
+		return Result{}, fmt.Errorf("experiment %s: runner has no analytic predictor (set RunnerOptions.Predictor or Runner.SetPredictor)", e)
+	}
+	res, err := p.Predict(e)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiment %s: %w", e, err)
+	}
+	r.bump(func(s *CacheStats) { s.Predictions++ })
+	return res, nil
+}
+
+// Screen analytically predicts every experiment — the screening half of a
+// multi-fidelity sweep. It performs zero simulator invocations (counter:
+// CacheStats.Predictions advances, Runs does not), touches neither the
+// memo map nor the store, and returns input-ordered results marked
+// Analytic. On failure it returns the error of the lowest-indexed failing
+// experiment alongside the partial results.
+func (r *Runner) Screen(ctx context.Context, exps []Experiment) ([]Result, error) {
+	results := make([]Result, len(exps))
+	errs := make([]error, len(exps))
+	ParallelEach(ctx, len(exps), r.workers, func(i int) {
+		results[i], errs[i] = r.predict(exps[i])
+	})
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// TopKByPredictedPerf ranks predicted results by ops/cycle (descending,
+// ties broken toward the lower input index) and returns the indices of the
+// k best, in ascending input order. k <= 0 selects nothing; k >= len
+// selects everything.
+func TopKByPredictedPerf(preds []Result, k int) []int {
+	idx := make([]int, len(preds))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return preds[idx[a]].OpsPerCycle() > preds[idx[b]].OpsPerCycle()
+	})
+	switch {
+	case k < 0:
+		k = 0
+	case k > len(idx):
+		k = len(idx)
+	}
+	top := idx[:k]
+	sort.Ints(top)
+	return top
+}
+
+// RunTopK is the multi-fidelity sweep (DESIGN.md §10): every cell is
+// screened analytically, only the k most promising (highest predicted
+// ops/cycle) are compiled and simulated at full fidelity, and the
+// input-ordered result slice carries simulated ground truth for the chosen
+// cells and Analytic predictions for the rest. k >= len(exps) degenerates
+// to RunAll. The simulated subset flows through the normal memo/store
+// path, so a repeated top-k sweep re-simulates nothing.
+func (r *Runner) RunTopK(ctx context.Context, exps []Experiment, opts RunOptions, k int) ([]Result, error) {
+	full := opts
+	full.Fidelity = FidelityFull
+	if k >= len(exps) {
+		return r.RunAll(ctx, exps, full)
+	}
+	preds, err := r.Screen(ctx, exps)
+	if err != nil {
+		return preds, err
+	}
+	top := TopKByPredictedPerf(preds, k)
+	chosen := make([]Experiment, len(top))
+	for i, j := range top {
+		chosen[i] = exps[j]
+	}
+	simmed, err := r.RunAll(ctx, chosen, full)
+	for i, j := range top {
+		preds[j] = simmed[i]
+	}
+	return preds, err
 }
 
 // Preload publishes an already-materialized result into the in-memory cell

@@ -1,0 +1,55 @@
+package difftest
+
+// Analytic-bounds invariant: the calibrated analytical prediction tier
+// (internal/analytic) documents a held-out error band at calibration
+// time; this file re-checks that band against the live simulator and
+// turns violations into campaign divergences. cwfuzz runs it as a
+// standing phase — a prediction drifting out of band means the model,
+// the simulator, or the calibration hygiene changed without a refit.
+
+import (
+	"context"
+	"fmt"
+
+	"configwall/internal/analytic"
+	"configwall/internal/core"
+)
+
+// AnalyticDivergences converts a calibration report's band violations
+// into divergences: one KindAnalyticBounds entry per out-of-band
+// held-out cell, plus one per target whose geomean error exceeds the
+// band. An empty slice means the model honors its documented band.
+func AnalyticDivergences(rep *analytic.Report) []Divergence {
+	var out []Divergence
+	for _, tr := range rep.Targets {
+		for _, c := range tr.Violations(rep.Band) {
+			out = append(out, Divergence{
+				Kind:     KindAnalyticBounds,
+				Pipeline: c.Exp.Pipeline,
+				Detail: fmt.Sprintf("%s: predicted %.0f cycles, simulated %.0f (error %.1f%% > per-cell band %.0f%%)",
+					c.Exp, c.Predicted, c.Actual, 100*c.Err, 100*rep.Band.PerCell),
+			})
+		}
+		if tr.GeomeanErr > rep.Band.Geomean {
+			out = append(out, Divergence{
+				Kind: KindAnalyticBounds,
+				Detail: fmt.Sprintf("%s: held-out geomean cycle error %.1f%% > band %.0f%% over %d cells",
+					tr.Target, 100*tr.GeomeanErr, 100*rep.Band.Geomean, len(tr.Cells)),
+			})
+		}
+	}
+	return out
+}
+
+// CheckAnalyticBounds calibrates the analytical tier against the real
+// simulator under spec and validates the held-out error band, returning
+// the fitted model, the per-cell report, and any band violations as
+// divergences. The whole check is deterministic in spec.Seed: the same
+// seed always exercises the same held-out cells against the same fits.
+func CheckAnalyticBounds(ctx context.Context, r *core.Runner, spec analytic.Spec) (*analytic.Model, *analytic.Report, []Divergence, error) {
+	model, rep, err := analytic.Calibrate(ctx, r, spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return model, rep, AnalyticDivergences(rep), nil
+}

@@ -1,0 +1,88 @@
+package difftest_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"configwall/internal/analytic"
+	"configwall/internal/core"
+	"configwall/internal/difftest"
+)
+
+// TestAnalyticDivergences pins the report-to-divergence mapping: clean
+// reports produce nothing, per-cell and geomean band violations each
+// produce one KindAnalyticBounds divergence with a diagnostic detail.
+func TestAnalyticDivergences(t *testing.T) {
+	band := analytic.Band{Geomean: 0.15, PerCell: 0.30}
+	clean := &analytic.Report{
+		Band: band,
+		Targets: []analytic.TargetReport{{
+			Target:     "gemmini",
+			GeomeanErr: 0.03,
+			MaxErr:     0.10,
+			Cells: []analytic.CellError{{
+				Exp:       core.Experiment{Target: "gemmini", Workload: core.WorkloadMatmul, Pipeline: core.Baseline, N: 96},
+				Predicted: 110, Actual: 100, Err: 0.10,
+			}},
+		}},
+	}
+	if divs := difftest.AnalyticDivergences(clean); len(divs) != 0 {
+		t.Fatalf("clean report produced divergences: %v", divs)
+	}
+
+	bad := &analytic.Report{
+		Band: band,
+		Targets: []analytic.TargetReport{{
+			Target:     "gemmini",
+			GeomeanErr: 0.20, // > geomean band
+			MaxErr:     0.45,
+			Cells: []analytic.CellError{{
+				Exp:       core.Experiment{Target: "gemmini", Workload: core.WorkloadMatmul, Pipeline: core.OverlapOnly, N: 96},
+				Predicted: 145, Actual: 100, Err: 0.45, // > per-cell band
+			}},
+		}},
+	}
+	divs := difftest.AnalyticDivergences(bad)
+	if len(divs) != 2 {
+		t.Fatalf("got %d divergences, want a per-cell and a geomean violation: %v", len(divs), divs)
+	}
+	for _, d := range divs {
+		if d.Kind != difftest.KindAnalyticBounds {
+			t.Errorf("divergence kind %s, want analytic-bounds", d.Kind)
+		}
+		if !strings.Contains(d.String(), "analytic-bounds") {
+			t.Errorf("divergence rendering %q does not name the kind", d)
+		}
+	}
+	if !strings.Contains(divs[0].Detail, "per-cell band") || divs[0].Pipeline != core.OverlapOnly {
+		t.Errorf("per-cell divergence = %v", divs[0])
+	}
+	if !strings.Contains(divs[1].Detail, "geomean") {
+		t.Errorf("geomean divergence = %v", divs[1])
+	}
+}
+
+// TestCheckAnalyticBounds runs the full standing invariant once against
+// the real simulator: a fresh calibration at the default spec must honor
+// its own documented band, and the same seed must reproduce the identical
+// model (the property cwfuzz re-checks every campaign).
+func TestCheckAnalyticBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full calibration grid in -short mode")
+	}
+	r := core.NewRunner(0)
+	model, rep, divs, err := difftest.CheckAnalyticBounds(context.Background(), r, analytic.Spec{Seed: 1})
+	if err != nil {
+		t.Fatalf("CheckAnalyticBounds: %v", err)
+	}
+	if len(divs) != 0 {
+		t.Fatalf("fresh calibration violates its own band:\n%s", rep)
+	}
+	if model == nil || len(model.Targets) < 2 {
+		t.Fatalf("calibration returned an incomplete model")
+	}
+	if !rep.Clean() {
+		t.Fatalf("no divergences but report is not clean:\n%s", rep)
+	}
+}

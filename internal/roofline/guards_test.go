@@ -1,0 +1,149 @@
+package roofline_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"configwall/internal/roofline"
+)
+
+// finite reports whether v is a plain finite float (not NaN, not ±Inf).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// TestSequentialGuards pins the degenerate-input behavior of Eq. 3: any
+// non-positive peak or configuration term yields 0 instead of leaking
+// NaN/Inf (or a sign-flipped "performance") into figures, mirroring the
+// Geomean/speedupRatio hardening.
+func TestSequentialGuards(t *testing.T) {
+	cases := []struct {
+		name                string
+		peak, bwConfig, iOC float64
+		want                float64
+	}{
+		{"zero peak", 0, 1.77, 100, 0},
+		{"negative peak", -512, 1.77, 100, 0},
+		{"zero bw", 512, 0, 100, 0},
+		{"negative bw", 512, -1.77, 100, 0},
+		{"zero intensity", 512, 1.77, 0, 0},
+		{"negative intensity", 512, 1.77, -4, 0},
+		{"all zero", 0, 0, 0, 0},
+		{"nan peak", math.NaN(), 1.77, 100, 0},
+		{"nan intensity", 512, 1.77, math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := roofline.Sequential(c.peak, c.bwConfig, c.iOC); got != c.want {
+			t.Errorf("%s: Sequential(%v,%v,%v) = %v, want %v", c.name, c.peak, c.bwConfig, c.iOC, got, c.want)
+		}
+	}
+	// The happy path must be untouched by the guards.
+	if got := roofline.Sequential(512, 16.0/9.0, 204.8); !approx(got/512, 0.4156, 0.001) {
+		t.Errorf("Sequential paper point = %v, want ~41.5%% of 512", got)
+	}
+}
+
+// TestKneeAndUtilizationGuards covers the remaining unguarded divisions:
+// Knee's peak/bwConfig and Model.Utilization's /PeakOps.
+func TestKneeAndUtilizationGuards(t *testing.T) {
+	cases := []struct {
+		name           string
+		peak, bwConfig float64
+		want           float64
+	}{
+		{"zero bw", 512, 0, 0},
+		{"negative bw", 512, -1, 0},
+		{"zero peak", 0, 1.77, 0},
+		{"nan bw", 512, math.NaN(), 0},
+		{"happy", 512, 16, 32},
+	}
+	for _, c := range cases {
+		if got := roofline.Knee(c.peak, c.bwConfig); got != c.want {
+			t.Errorf("%s: Knee(%v,%v) = %v, want %v", c.name, c.peak, c.bwConfig, got, c.want)
+		}
+	}
+
+	zero := roofline.Model{Name: "degenerate", PeakOps: 0, BWConfig: 1.77}
+	if got := zero.Utilization(100); got != 0 {
+		t.Errorf("Utilization with zero peak = %v, want 0", got)
+	}
+	neg := roofline.Model{Name: "degenerate", PeakOps: -512, BWConfig: 1.77}
+	if got := neg.Utilization(100); got != 0 {
+		t.Errorf("Utilization with negative peak = %v, want 0", got)
+	}
+	ok := roofline.Model{Name: "ok", PeakOps: 512, BWConfig: 16, ConcurrentConfig: true}
+	if got := ok.Utilization(1 << 20); got != 1 {
+		t.Errorf("saturated Utilization = %v, want 1", got)
+	}
+}
+
+// TestCurveAndSurfaceRangeGuards: sampling with iocMin <= 0 used to feed
+// math.Log(0) = -Inf into every coordinate. A non-positive minimum is now
+// clamped below the maximum; a non-positive maximum yields an empty
+// series/surface.
+func TestCurveAndSurfaceRangeGuards(t *testing.T) {
+	m := roofline.Model{Name: "g", PeakOps: 512, BWConfig: 16, BWMemory: 64}
+	for _, s := range []roofline.Series{
+		m.CurveSequential(0, 1024, 8),
+		m.CurveConcurrent(-3, 1024, 8),
+	} {
+		if len(s.Points) != 8 {
+			t.Fatalf("%s: clamped curve has %d points, want 8", s.Name, len(s.Points))
+		}
+		for _, pt := range s.Points {
+			if pt.IOC <= 0 || !finite(pt.IOC) || !finite(pt.Perf) {
+				t.Errorf("%s: clamped curve produced point (%v, %v)", s.Name, pt.IOC, pt.Perf)
+			}
+		}
+	}
+	if s := m.CurveSequential(1, 0, 8); len(s.Points) != 0 {
+		t.Errorf("curve with non-positive max has %d points, want 0", len(s.Points))
+	}
+
+	surf := m.Surface(0, 64, -1, 64, 4)
+	if len(surf) != 16 {
+		t.Fatalf("clamped surface has %d rows, want 16", len(surf))
+	}
+	for _, row := range surf {
+		if !finite(row[0]) || !finite(row[1]) || !finite(row[2]) {
+			t.Errorf("clamped surface row %v is not finite", row)
+		}
+	}
+	if surf := m.Surface(1, 0, 1, 64, 4); len(surf) != 0 {
+		t.Errorf("surface with non-positive max has %d rows, want 0", len(surf))
+	}
+}
+
+// TestAsciiPlotZeroPoint is the satellite regression test: rendering a
+// series that contains a zero (or negative) point must neither panic nor
+// scatter characters at int(NaN) grid positions, and plots whose axis
+// minima are non-positive must still render finite output.
+func TestAsciiPlotZeroPoint(t *testing.T) {
+	p := roofline.NewAsciiPlot(32, 8)
+	p.AddCurve(roofline.Series{Name: "seq", Points: []roofline.Point{
+		{IOC: 0, Perf: 100},   // zero intensity: skipped
+		{IOC: 16, Perf: 0},    // zero performance: skipped
+		{IOC: -4, Perf: -4},   // negative: skipped
+		{IOC: 256, Perf: 128}, // valid: plotted
+	}})
+	p.AddPoints(roofline.Series{Name: "meas", Points: []roofline.Point{
+		{IOC: 0, Perf: 0},
+		{IOC: 1024, Perf: 64},
+	}})
+	out := p.Render()
+	if !strings.Contains(out, "s") || !strings.Contains(out, "1") {
+		t.Fatalf("valid points missing from render:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("render leaked NaN:\n%s", out)
+	}
+
+	// Degenerate axis bounds (XMin = 0 would be math.Log(0) = -Inf in the
+	// mapping) must not panic and must still place in-range points.
+	p2 := roofline.NewAsciiPlot(32, 8)
+	p2.XMin, p2.YMin = 0, -1
+	p2.AddCurve(roofline.Series{Name: "", Points: []roofline.Point{{IOC: 64, Perf: 64}}})
+	out2 := p2.Render()
+	if !strings.Contains(out2, "legend: ?=") {
+		t.Fatalf("empty curve name missing '?' legend fallback:\n%s", out2)
+	}
+}

@@ -27,13 +27,33 @@ func (p *AsciiPlot) AddCurve(s Series) { p.curves = append(p.curves, s) }
 // AddPoints adds a scatter series (drawn with digits by series order).
 func (p *AsciiPlot) AddPoints(s Series) { p.points = append(p.points, s) }
 
+// xCol maps a coordinate onto a grid column, or -1 when the value or the
+// configured axis range cannot be log-mapped (math.Log of a non-positive
+// value is NaN/-Inf, and int(NaN) is platform-dependent; a sentinel column
+// is rejected by Render's bounds check instead).
 func (p *AsciiPlot) xCol(x float64) int {
-	f := (math.Log(x) - math.Log(p.XMin)) / (math.Log(p.XMax) - math.Log(p.XMin))
+	xmin, xmax, ok := clampLogRange(p.XMin, p.XMax)
+	if !ok || x <= 0 || xmin == xmax {
+		return -1
+	}
+	f := (math.Log(x) - math.Log(xmin)) / (math.Log(xmax) - math.Log(xmin))
+	if math.IsNaN(f) {
+		return -1
+	}
 	return int(f * float64(p.Width-1))
 }
 
+// yRow maps a coordinate onto a grid row, with the same non-positive
+// sanitization as xCol.
 func (p *AsciiPlot) yRow(y float64) int {
-	f := (math.Log(y) - math.Log(p.YMin)) / (math.Log(p.YMax) - math.Log(p.YMin))
+	ymin, ymax, ok := clampLogRange(p.YMin, p.YMax)
+	if !ok || y <= 0 || ymin == ymax {
+		return -1
+	}
+	f := (math.Log(y) - math.Log(ymin)) / (math.Log(ymax) - math.Log(ymin))
+	if math.IsNaN(f) {
+		return -1
+	}
 	return (p.Height - 1) - int(f*float64(p.Height-1))
 }
 
@@ -78,7 +98,11 @@ func (p *AsciiPlot) Render() string {
 	fmt.Fprintf(&sb, "%10s%-10.0f%*s%.0f  (I_OC, ops/byte; log-log)\n", "", p.XMin, p.Width-12, "", p.XMax)
 	legend := []string{}
 	for _, c := range p.curves {
-		legend = append(legend, fmt.Sprintf("%c=%s", c.Name[0], c.Name))
+		ch := byte('?')
+		if len(c.Name) > 0 {
+			ch = c.Name[0]
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", ch, c.Name))
 	}
 	for i, s := range p.points {
 		legend = append(legend, fmt.Sprintf("%c=%s", byte('1'+i), s.Name))

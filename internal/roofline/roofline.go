@@ -27,10 +27,17 @@ func Concurrent(peak, bwConfig, iOC float64) float64 {
 // configured accelerator (Eq. 3): the harmonic composition
 // 1 / (1/peak + 1/(bwConfig * iOC)). It asymptotically approaches the
 // concurrent roofline but never reaches it — configuration cycles are
-// unavoidable without overlap.
+// unavoidable without overlap. The harmonic mean is undefined for
+// non-positive terms (1/0 is +Inf, 1/-x flips the sign and can even turn
+// the composition negative), so any non-positive peak or config term
+// yields 0, mirroring the Geomean/speedupRatio hardening: a degenerate
+// cell must not leak NaN/Inf into figures.
 func Sequential(peak, bwConfig, iOC float64) float64 {
-	denom := 1/peak + 1/(bwConfig*iOC)
-	return 1 / denom
+	cfg := bwConfig * iOC
+	if peak <= 0 || cfg <= 0 || math.IsNaN(peak) || math.IsNaN(cfg) {
+		return 0
+	}
+	return 1 / (1/peak + 1/cfg)
 }
 
 // EffectiveConfigBW returns the effective configuration bandwidth (Eq. 4):
@@ -54,7 +61,13 @@ func Combined(peak, bwMemory, iOperational, bwConfig, iOC float64) float64 {
 // Knee returns the operation-to-configuration intensity of the roofline
 // knee point: the I_OC at which configuration time equals compute time
 // (peak / bwConfig). Workloads left of the knee are configuration bound.
-func Knee(peak, bwConfig float64) float64 { return peak / bwConfig }
+// A non-positive bandwidth has no knee; report 0 rather than Inf/NaN.
+func Knee(peak, bwConfig float64) float64 {
+	if bwConfig <= 0 || peak <= 0 || math.IsNaN(bwConfig) || math.IsNaN(peak) {
+		return 0
+	}
+	return peak / bwConfig
+}
 
 // Bound classifies which term of the roofline limits a workload.
 type Bound int
@@ -134,8 +147,13 @@ func (m Model) AttainableWithBW(bwConfig, iOC float64) float64 {
 	return Sequential(m.PeakOps, bwConfig, iOC)
 }
 
-// Utilization returns attainable performance as a fraction of peak.
+// Utilization returns attainable performance as a fraction of peak, or 0
+// when the model has no positive peak (division by zero would report a
+// NaN utilization for an unconfigured model).
 func (m Model) Utilization(iOC float64) float64 {
+	if m.PeakOps <= 0 || math.IsNaN(m.PeakOps) {
+		return 0
+	}
 	return m.Attainable(iOC) / m.PeakOps
 }
 
@@ -178,6 +196,10 @@ func (m Model) curve(name string, iocMin, iocMax float64, n int, f func(float64)
 	if n < 2 {
 		n = 2
 	}
+	iocMin, iocMax, ok := clampLogRange(iocMin, iocMax)
+	if !ok {
+		return s
+	}
 	logMin, logMax := math.Log(iocMin), math.Log(iocMax)
 	for i := 0; i < n; i++ {
 		ioc := math.Exp(logMin + (logMax-logMin)*float64(i)/float64(n-1))
@@ -186,10 +208,31 @@ func (m Model) curve(name string, iocMin, iocMax float64, n int, f func(float64)
 	return s
 }
 
+// clampLogRange sanitizes a log-spaced sampling range: math.Log of a
+// non-positive bound is NaN/-Inf and every sampled coordinate inherits it.
+// A non-positive minimum is pulled up to six decades below the maximum; a
+// range with no positive maximum is unusable and reports ok=false.
+func clampLogRange(min, max float64) (float64, float64, bool) {
+	if max <= 0 || math.IsNaN(max) || math.IsInf(max, 0) {
+		return 0, 0, false
+	}
+	if min <= 0 || math.IsNaN(min) || min > max {
+		min = max / 1e6
+	}
+	return min, max, true
+}
+
 // Surface samples the combined roofsurface (Figure 5) over a log-spaced
-// grid, returning rows of (iOperational, iOC, attainable).
+// grid, returning rows of (iOperational, iOC, attainable). Ranges are
+// sanitized like curve sampling: a non-positive axis maximum yields an
+// empty surface rather than NaN coordinates.
 func (m Model) Surface(iOpMin, iOpMax, iocMin, iocMax float64, n int) [][3]float64 {
 	var out [][3]float64
+	iOpMin, iOpMax, okOp := clampLogRange(iOpMin, iOpMax)
+	iocMin, iocMax, okOC := clampLogRange(iocMin, iocMax)
+	if !okOp || !okOC || n < 2 {
+		return out
+	}
 	for i := 0; i < n; i++ {
 		iOp := math.Exp(math.Log(iOpMin) + (math.Log(iOpMax)-math.Log(iOpMin))*float64(i)/float64(n-1))
 		for j := 0; j < n; j++ {

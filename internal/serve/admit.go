@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync"
 	"time"
 )
 
@@ -24,17 +25,65 @@ var (
 // rejected outright. Coalesced duplicates never enter admission (see
 // flightGroup), so the bound is on *distinct* in-flight cells.
 type admission struct {
-	slots   chan struct{} // capacity = concurrency; holding a token = executing
-	tickets chan struct{} // capacity = concurrency + depth; bounds waiters
-	timeout time.Duration
+	slots       chan struct{} // capacity = concurrency; holding a token = executing
+	tickets     chan struct{} // capacity = concurrency + depth; bounds waiters
+	timeout     time.Duration
+	concurrency int
+
+	// holdMu guards holdEWMA, an exponentially weighted moving average of
+	// how long execution slots are held. It sizes Retry-After hints: the
+	// expected wait for the load ahead of a shed request is
+	// (queued ÷ concurrency) × average hold time.
+	holdMu   sync.Mutex
+	holdEWMA time.Duration
 }
 
 func newAdmission(concurrency, depth int, timeout time.Duration) *admission {
 	return &admission{
-		slots:   make(chan struct{}, concurrency),
-		tickets: make(chan struct{}, concurrency+depth),
-		timeout: timeout,
+		slots:       make(chan struct{}, concurrency),
+		tickets:     make(chan struct{}, concurrency+depth),
+		timeout:     timeout,
+		concurrency: concurrency,
 	}
+}
+
+// recordHold folds one finished slot hold into the EWMA (weight 1/4 on
+// the new sample: stable under mixed cached/cold traffic, yet converging
+// within a few cells after the workload shifts).
+func (a *admission) recordHold(d time.Duration) {
+	a.holdMu.Lock()
+	if a.holdEWMA == 0 {
+		a.holdEWMA = d
+	} else {
+		a.holdEWMA = (3*a.holdEWMA + d) / 4
+	}
+	a.holdMu.Unlock()
+}
+
+// retryAfterSeconds derives the Retry-After hint for a shed request: the
+// expected time for the work already admitted to drain through the slot
+// pool, clamped to [1s, queue timeout] (a client told to wait longer than
+// the queue timeout would always do better re-queueing at the horizon).
+func (a *admission) retryAfterSeconds() int {
+	a.holdMu.Lock()
+	hold := a.holdEWMA
+	a.holdMu.Unlock()
+	est := time.Second
+	if hold > 0 && a.concurrency > 0 {
+		est = time.Duration(len(a.tickets)) * hold / time.Duration(a.concurrency)
+	}
+	max := int(a.timeout.Seconds() + 0.999)
+	if max < 1 {
+		max = 1
+	}
+	secs := int(est.Seconds() + 0.999) // ceil: never hint a zero wait
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > max {
+		secs = max
+	}
+	return secs
 }
 
 // acquire claims an execution slot with request semantics: it rejects with
@@ -51,7 +100,8 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	defer timer.Stop()
 	select {
 	case a.slots <- struct{}{}:
-		return func() { <-a.slots; <-a.tickets }, nil
+		start := time.Now()
+		return func() { a.recordHold(time.Since(start)); <-a.slots; <-a.tickets }, nil
 	case <-timer.C:
 		<-a.tickets
 		return nil, ErrQueueTimeout
@@ -68,7 +118,8 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 func (a *admission) acquireWait(ctx context.Context) (release func(), err error) {
 	select {
 	case a.slots <- struct{}{}:
-		return func() { <-a.slots }, nil
+		start := time.Now()
+		return func() { a.recordHold(time.Since(start)); <-a.slots }, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}

@@ -45,6 +45,20 @@ func (c *Client) http() *http.Client {
 type StatusError struct {
 	Code int
 	Body string
+	// RetryAfter is the server's backoff hint in seconds (the Retry-After
+	// header, derived from live queue drain rate); 0 when absent.
+	RetryAfter int
+}
+
+// statusError builds a StatusError from a non-2xx response.
+func statusError(resp *http.Response, body []byte) *StatusError {
+	se := &StatusError{Code: resp.StatusCode, Body: string(body)}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			se.RetryAfter = secs
+		}
+	}
+	return se
 }
 
 func (e *StatusError) Error() string {
@@ -86,7 +100,7 @@ func (c *Client) RunRaw(ctx context.Context, e core.Experiment, opts core.RunOpt
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, &StatusError{Code: resp.StatusCode, Body: string(body)}
+		return nil, statusError(resp, body)
 	}
 	return body, nil
 }
@@ -130,7 +144,7 @@ func (c *Client) Sweep(ctx context.Context, rq SweepRequest, fn func(SweepEvent)
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(resp.Body)
-		return SweepSummary{}, &StatusError{Code: resp.StatusCode, Body: string(msg)}
+		return SweepSummary{}, statusError(resp, msg)
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -202,7 +216,7 @@ func (c *Client) getText(ctx context.Context, path string) (string, error) {
 		return "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return "", &StatusError{Code: resp.StatusCode, Body: string(body)}
+		return "", statusError(resp, body)
 	}
 	return string(body), nil
 }

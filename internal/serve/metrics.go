@@ -39,18 +39,20 @@ func (h *hist) observe(d time.Duration) {
 // metrics aggregates the serving counters behind /metrics. All methods are
 // safe for concurrent use.
 type metrics struct {
-	mu        sync.Mutex
-	requests  map[string]map[int]uint64 // endpoint -> status code -> count
-	latency   map[string]*hist          // endpoint -> latency histogram
-	coalesced uint64
-	rejected  map[string]uint64 // reason -> count
+	mu         sync.Mutex
+	requests   map[string]map[int]uint64 // endpoint -> status code -> count
+	latency    map[string]*hist          // endpoint -> latency histogram
+	coalesced  uint64
+	rejected   map[string]uint64 // reason -> count
+	sweepCells map[string]uint64 // fidelity tier -> cells answered
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: map[string]map[int]uint64{},
-		latency:  map[string]*hist{},
-		rejected: map[string]uint64{},
+		requests:   map[string]map[int]uint64{},
+		latency:    map[string]*hist{},
+		rejected:   map[string]uint64{},
+		sweepCells: map[string]uint64{},
 	}
 }
 
@@ -73,6 +75,17 @@ func (m *metrics) observe(endpoint string, code int, d time.Duration) {
 
 func (m *metrics) coalesce()            { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
 func (m *metrics) reject(reason string) { m.mu.Lock(); m.rejected[reason]++; m.mu.Unlock() }
+
+// sweepTier counts n sweep cells answered by the given fidelity tier
+// ("analytic" or "simulated").
+func (m *metrics) sweepTier(tier string, n int) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.sweepCells[tier] += uint64(n)
+	m.mu.Unlock()
+}
 
 // gauges are point-in-time readings the server snapshots at render time.
 type gauges struct {
@@ -110,6 +123,12 @@ func (m *metrics) render(sb *strings.Builder, g gauges) {
 	fmt.Fprintf(sb, "# TYPE cwserve_rejected_total counter\n")
 	for _, r := range sortedKeys(m.rejected) {
 		fmt.Fprintf(sb, "cwserve_rejected_total{reason=%q} %d\n", r, m.rejected[r])
+	}
+
+	fmt.Fprintf(sb, "# HELP cwserve_sweep_cells_total Sweep cells answered, by fidelity tier.\n")
+	fmt.Fprintf(sb, "# TYPE cwserve_sweep_cells_total counter\n")
+	for _, tier := range sortedKeys(m.sweepCells) {
+		fmt.Fprintf(sb, "cwserve_sweep_cells_total{tier=%q} %d\n", tier, m.sweepCells[tier])
 	}
 
 	fmt.Fprintf(sb, "# HELP cwserve_queue_depth Request-mode admissions in the system (executing or waiting).\n")

@@ -356,7 +356,10 @@ func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, err error
 			reason = "queue_timeout"
 		}
 		s.met.reject(reason)
-		w.Header().Set("Retry-After", "1")
+		// The hint is derived from live load — expected drain time of the
+		// admitted work — not a hardcoded constant, so well-behaved clients
+		// back off proportionally to how far behind the server actually is.
+		w.Header().Set("Retry-After", strconv.Itoa(s.admit.retryAfterSeconds()))
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		if r.Context().Err() != nil {
@@ -421,6 +424,16 @@ type SweepRequest struct {
 	// Stream selects NDJSON event streaming (the default); set it to
 	// false for a single JSON array response in input order.
 	Stream *bool `json:"stream,omitempty"`
+	// Fidelity selects the prediction tier (DESIGN.md §10): "" or "full"
+	// simulates every cell; "screen" answers the whole grid from the
+	// analytical model (zero simulations, results marked Analytic);
+	// "topk" screens the grid and simulates only the TopK cells with the
+	// best predicted ops/cycle. "screen" and "topk" require a server
+	// booted with a calibrated model (cwserve -analytic).
+	Fidelity string `json:"fidelity,omitempty"`
+	// TopK is the simulated-cell budget of a "topk" sweep; required >= 1
+	// there, rejected elsewhere.
+	TopK int `json:"top_k,omitempty"`
 }
 
 // SweepEvent is one NDJSON line of a streaming sweep: a completed cell
@@ -501,11 +514,182 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if rq.Stream == nil || *rq.Stream {
-		s.streamSweep(w, r, exps, opts)
+	if err := s.checkFidelity(rq); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.arraySweep(w, r, exps, opts)
+	stream := rq.Stream == nil || *rq.Stream
+	switch rq.Fidelity {
+	case "screen":
+		s.screenSweep(w, r, exps, stream)
+	case "topk":
+		s.topkSweep(w, r, exps, opts, rq.TopK, stream)
+	default:
+		s.met.sweepTier(tierSimulated, len(exps))
+		if stream {
+			s.streamSweep(w, r, exps, opts)
+			return
+		}
+		s.arraySweep(w, r, exps, opts)
+	}
+}
+
+// Sweep fidelity tiers, as exposed in cwserve_sweep_cells_total{tier=...}.
+const (
+	tierAnalytic  = "analytic"
+	tierSimulated = "simulated"
+)
+
+// checkFidelity validates the fidelity/top_k combination against the
+// server's capabilities before any cell is dispatched.
+func (s *Server) checkFidelity(rq SweepRequest) error {
+	switch rq.Fidelity {
+	case "", "full":
+		if rq.TopK != 0 {
+			return fmt.Errorf("top_k %d requires fidelity \"topk\"", rq.TopK)
+		}
+	case "screen":
+		if rq.TopK != 0 {
+			return fmt.Errorf("top_k %d requires fidelity \"topk\"", rq.TopK)
+		}
+		if s.runner.Predictor() == nil {
+			return fmt.Errorf("fidelity %q needs a calibrated analytic model (start cwserve with -analytic)", rq.Fidelity)
+		}
+	case "topk":
+		if rq.TopK < 1 {
+			return fmt.Errorf("fidelity \"topk\" requires top_k >= 1")
+		}
+		if s.runner.Predictor() == nil {
+			return fmt.Errorf("fidelity %q needs a calibrated analytic model (start cwserve with -analytic)", rq.Fidelity)
+		}
+	default:
+		return fmt.Errorf("unknown fidelity %q (want \"full\", \"screen\" or \"topk\")", rq.Fidelity)
+	}
+	return nil
+}
+
+// screenSweep answers the whole grid from the analytical tier: zero
+// simulations, zero admission slots, every result marked Analytic.
+func (s *Server) screenSweep(w http.ResponseWriter, r *http.Request, exps []core.Experiment, stream bool) {
+	preds, err := s.runner.Screen(r.Context(), exps)
+	if err != nil {
+		// Prediction failures are grid problems (an uncalibrated workload,
+		// a size the target's tiling rejects), not server faults.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.met.sweepTier(tierAnalytic, len(exps))
+	s.writeSweepResults(w, exps, preds, stream)
+}
+
+// topkSweep screens the grid analytically, then simulates only the k
+// cells with the best predicted ops/cycle through the normal serving
+// stack (coalescing + batch admission), merging simulated results over
+// their predictions.
+func (s *Server) topkSweep(w http.ResponseWriter, r *http.Request, exps []core.Experiment, opts core.RunOptions, k int, stream bool) {
+	preds, err := s.runner.Screen(r.Context(), exps)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	chosen := core.TopKByPredictedPerf(preds, k)
+	s.met.sweepTier(tierAnalytic, len(exps)-len(chosen))
+	s.met.sweepTier(tierSimulated, len(chosen))
+	sub := make([]core.Experiment, len(chosen))
+	for i, idx := range chosen {
+		sub[i] = exps[idx]
+	}
+
+	if !stream {
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		ch := s.runSweep(ctx, sub, opts)
+		for oc := range ch {
+			if oc.err != nil {
+				cancel()
+				for range ch {
+				}
+				s.writeRunError(w, r, fmt.Errorf("experiment %s: %w", sub[oc.index], oc.err))
+				return
+			}
+			preds[chosen[oc.index]] = oc.res
+		}
+		if r.Context().Err() != nil {
+			return // client went away mid-sweep
+		}
+		s.writeSweepResults(w, exps, preds, false)
+		return
+	}
+
+	// Streaming: the analytic tier is instant, so its events go out first
+	// (grid order); simulated winners follow in completion order.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	isChosen := make(map[int]bool, len(chosen))
+	for _, idx := range chosen {
+		isChosen[idx] = true
+	}
+	for i := range preds {
+		if isChosen[i] {
+			continue
+		}
+		idx := i
+		if enc.Encode(SweepEvent{Index: &idx, Experiment: &exps[i], Result: &preds[i]}) != nil {
+			return
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	failed := 0
+	ch := s.runSweep(r.Context(), sub, opts)
+	for oc := range ch {
+		idx := chosen[oc.index]
+		ev := SweepEvent{Index: &idx, Experiment: &exps[idx]}
+		if oc.err != nil {
+			failed++
+			ev.Error = oc.err.Error()
+		} else {
+			ev.Result = &oc.res
+		}
+		if enc.Encode(ev) != nil {
+			for range ch {
+			}
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(SweepEvent{Done: true, Cells: len(exps), Failed: failed})
+}
+
+// writeSweepResults renders an already-complete result set, either as
+// NDJSON events in grid order or as one JSON array.
+func (s *Server) writeSweepResults(w http.ResponseWriter, exps []core.Experiment, results []core.Result, stream bool) {
+	if stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		for i := range results {
+			idx := i
+			if enc.Encode(SweepEvent{Index: &idx, Experiment: &exps[i], Result: &results[i]}) != nil {
+				return
+			}
+		}
+		enc.Encode(SweepEvent{Done: true, Cells: len(exps)})
+		return
+	}
+	body, err := json.Marshal(results)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
 }
 
 // cellOutcome is one finished sweep cell, sent from the workers to the
@@ -648,6 +832,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "# HELP cwserve_cache_runs_total Experiments actually compiled and simulated.\n")
 	fmt.Fprintf(&sb, "# TYPE cwserve_cache_runs_total counter\n")
 	fmt.Fprintf(&sb, "cwserve_cache_runs_total %d\n", st.Runs)
+	fmt.Fprintf(&sb, "# HELP cwserve_cache_predictions_total Cells answered by the analytic tier instead of simulation.\n")
+	fmt.Fprintf(&sb, "# TYPE cwserve_cache_predictions_total counter\n")
+	fmt.Fprintf(&sb, "cwserve_cache_predictions_total %d\n", st.Predictions)
 	fmt.Fprintf(&sb, "# HELP cwserve_cache_evictions_total Cells dropped by the LRU bound.\n")
 	fmt.Fprintf(&sb, "# TYPE cwserve_cache_evictions_total counter\n")
 	fmt.Fprintf(&sb, "cwserve_cache_evictions_total %d\n", st.Evictions)

@@ -227,6 +227,7 @@ func TestBackpressure(t *testing.T) {
 
 	const clients = 4
 	codes := make([]int, clients)
+	retryAfter := make([]int, clients)
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
@@ -239,6 +240,7 @@ func TestBackpressure(t *testing.T) {
 			if err != nil {
 				if se, ok := err.(*serve.StatusError); ok {
 					codes[i] = se.Code
+					retryAfter[i] = se.RetryAfter
 				} else {
 					codes[i] = -1
 				}
@@ -254,6 +256,11 @@ func TestBackpressure(t *testing.T) {
 			ok++
 		case http.StatusTooManyRequests:
 			rejected++
+			// Every 429 carries a positive, bounded Retry-After derived from
+			// the live queue state — never zero, never past the queue timeout.
+			if retryAfter[i] < 1 || retryAfter[i] > 30 {
+				t.Errorf("request %d: Retry-After %d outside [1, queue timeout]", i, retryAfter[i])
+			}
 		default:
 			t.Fatalf("request %d: unexpected status %d", i, code)
 		}
@@ -299,6 +306,11 @@ func TestQueueTimeout(t *testing.T) {
 	}
 	if ok && !strings.Contains(se.Body, "timed out") {
 		t.Errorf("429 body %q does not mention the queue timeout", se.Body)
+	}
+	// With a 30ms queue timeout the derived hint clamps to its 1s floor
+	// and its ceil(timeout) ceiling simultaneously: exactly 1.
+	if ok && se.RetryAfter != 1 {
+		t.Errorf("Retry-After = %d, want 1 (clamped to the 30ms queue timeout)", se.RetryAfter)
 	}
 	wg.Wait()
 }
@@ -410,6 +422,181 @@ func TestSweepValidation(t *testing.T) {
 	}
 	if code, body := post(big); code != http.StatusBadRequest || !strings.Contains(body, "above the server cap") {
 		t.Errorf("over-cap sweep: %d %q", code, body)
+	}
+}
+
+// rankPredictor is a stub analytic tier for fidelity tests: instant
+// Analytic results ranked by N (larger N predicts more ops/cycle).
+type rankPredictor struct{}
+
+func (rankPredictor) Predict(e core.Experiment) (core.Result, error) {
+	res := core.Result{Target: e.Target, Workload: e.Workload, Pipeline: e.Pipeline, N: e.N, Analytic: true}
+	res.Cycles = 1000
+	res.AccelOps = uint64(e.N)
+	return res, nil
+}
+
+// TestSweepFidelityScreen: a screen-fidelity sweep answers the whole grid
+// analytically — zero simulator invocations, counter-asserted on the
+// runner and in /metrics.
+func TestSweepFidelityScreen(t *testing.T) {
+	runner := core.NewRunnerWith(core.RunnerOptions{Workers: 2, Predictor: rankPredictor{}})
+	sv, ts, c := newTestServer(t, serve.Options{Runner: runner})
+	rq := serve.SweepRequest{
+		Targets:   []string{"opengemm"},
+		Workloads: []string{core.WorkloadMatmul},
+		Pipelines: []string{"base", "all"},
+		Sizes:     []int{8, 16},
+		Fidelity:  "screen",
+	}
+
+	events := 0
+	summary, err := c.Sweep(context.Background(), rq, func(ev serve.SweepEvent) error {
+		if ev.Result == nil || !ev.Result.Analytic {
+			return fmt.Errorf("screen event %+v is not an Analytic result", ev)
+		}
+		events++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Cells != 4 || summary.Failed != 0 || events != 4 {
+		t.Fatalf("summary %+v with %d events, want 4 analytic cells", summary, events)
+	}
+	if st := sv.Runner().Snapshot(); st.Runs != 0 || st.Predictions != 4 {
+		t.Errorf("screen sweep counters: %d runs, %d predictions; want 0, 4", st.Runs, st.Predictions)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(metrics), `cwserve_sweep_cells_total{tier="analytic"} 4`) {
+		t.Errorf("metrics missing the analytic sweep-cell counter:\n%s", metrics)
+	}
+
+	// Non-streaming screen returns the prediction array in input order.
+	stream := false
+	rq.Stream = &stream
+	buf, _ := json.Marshal(rq)
+	post, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	body, _ := io.ReadAll(post.Body)
+	if post.StatusCode != http.StatusOK {
+		t.Fatalf("array screen status %d: %s", post.StatusCode, body)
+	}
+	var arr []core.Result
+	if err := json.Unmarshal(body, &arr); err != nil || len(arr) != 4 {
+		t.Fatalf("array screen body: %v (%d results)", err, len(arr))
+	}
+	for i, re := range arr {
+		if !re.Analytic {
+			t.Errorf("array screen result %d not Analytic", i)
+		}
+	}
+}
+
+// TestSweepFidelityTopK: a topk sweep simulates exactly the top_k
+// predicted-fastest cells and answers the rest analytically, with both
+// tiers counted in /metrics.
+func TestSweepFidelityTopK(t *testing.T) {
+	runner := core.NewRunnerWith(core.RunnerOptions{Workers: 2, Predictor: rankPredictor{}})
+	sv, ts, c := newTestServer(t, serve.Options{Runner: runner})
+	rq := serve.SweepRequest{
+		Targets:   []string{"opengemm"},
+		Workloads: []string{core.WorkloadMatmul},
+		Pipelines: []string{"base", "all"},
+		Sizes:     []int{8, 16},
+		Fidelity:  "topk",
+		TopK:      2,
+	}
+
+	simulated := 0
+	summary, err := c.Sweep(context.Background(), rq, func(ev serve.SweepEvent) error {
+		if ev.Error != "" {
+			return fmt.Errorf("cell %v failed: %s", ev.Index, ev.Error)
+		}
+		if !ev.Result.Analytic {
+			simulated++
+			if ev.Result.N != 16 {
+				return fmt.Errorf("simulated cell N=%d; the stub ranks the N=16 cells fastest", ev.Result.N)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Cells != 4 || summary.Failed != 0 {
+		t.Fatalf("summary = %+v, want 4 cells, 0 failed", summary)
+	}
+	if simulated != 2 {
+		t.Fatalf("%d simulated cells, want 2", simulated)
+	}
+	if st := sv.Runner().Snapshot(); st.Runs != 2 {
+		t.Errorf("Runs = %d, want exactly the top-2 cells", st.Runs)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		`cwserve_sweep_cells_total{tier="analytic"} 2`,
+		`cwserve_sweep_cells_total{tier="simulated"} 2`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestSweepFidelityValidation: fidelity/top_k combinations that cannot be
+// honored are rejected up front with a 400.
+func TestSweepFidelityValidation(t *testing.T) {
+	// No predictor on this server.
+	_, ts, _ := newTestServer(t, serve.Options{})
+	post := func(rq serve.SweepRequest) (int, string) {
+		buf, _ := json.Marshal(rq)
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	base := serve.SweepRequest{
+		Targets: []string{"opengemm"}, Workloads: []string{core.WorkloadMatmul},
+		Pipelines: []string{"base"}, Sizes: []int{8},
+	}
+
+	rq := base
+	rq.Fidelity = "screen"
+	if code, body := post(rq); code != http.StatusBadRequest || !strings.Contains(body, "analytic model") {
+		t.Errorf("screen without a model: %d %q", code, body)
+	}
+	rq = base
+	rq.Fidelity = "warp9"
+	if code, body := post(rq); code != http.StatusBadRequest || !strings.Contains(body, "unknown fidelity") {
+		t.Errorf("unknown fidelity: %d %q", code, body)
+	}
+	rq = base
+	rq.Fidelity = "topk"
+	if code, body := post(rq); code != http.StatusBadRequest || !strings.Contains(body, "top_k >= 1") {
+		t.Errorf("topk without top_k: %d %q", code, body)
+	}
+	rq = base
+	rq.TopK = 3
+	if code, body := post(rq); code != http.StatusBadRequest || !strings.Contains(body, `requires fidelity "topk"`) {
+		t.Errorf("top_k without topk fidelity: %d %q", code, body)
 	}
 }
 

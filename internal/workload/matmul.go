@@ -85,6 +85,47 @@ func gemminiTile(dim int) (int, error) {
 	return 0, fmt.Errorf("workload: gemmini dimension %d has no 16-multiple tiling <= %d", dim, GemminiMaxTile)
 }
 
+// Tiling describes the launch structure of a tiled matmul: the output
+// tile edges and the resulting launch count (each launch reduces over the
+// full K dimension). It is closed-form arithmetic over the documented
+// tiling rules — the analytical prediction tier (internal/analytic) uses
+// it as a feature source without building or simulating any IR.
+type Tiling struct {
+	// TileM and TileN are the output-tile edges of one launch.
+	TileM, TileN int
+	// Launches is (M/TileM) * (N/TileN).
+	Launches int
+}
+
+// GemminiMatmulTiling mirrors GemminiTiledMatmulMKN's tile selection.
+func GemminiMatmulTiling(mDim, kDim, nDim int) (Tiling, error) {
+	for _, d := range [3]int{mDim, kDim, nDim} {
+		if d%16 != 0 || d <= 0 {
+			return Tiling{}, fmt.Errorf("workload: gemmini matmul dims %dx%dx%d must be positive multiples of 16", mDim, kDim, nDim)
+		}
+	}
+	tileM, err := gemminiTile(mDim)
+	if err != nil {
+		return Tiling{}, err
+	}
+	tileN, err := gemminiTile(nDim)
+	if err != nil {
+		return Tiling{}, err
+	}
+	return Tiling{TileM: tileM, TileN: tileN, Launches: (mDim / tileM) * (nDim / tileN)}, nil
+}
+
+// OpenGeMMMatmulTiling mirrors OpenGeMMTiledMatmulMKN's fixed
+// MeshRow x MeshCol (8x8) output tiling.
+func OpenGeMMMatmulTiling(mDim, kDim, nDim int) (Tiling, error) {
+	for _, d := range [3]int{mDim, kDim, nDim} {
+		if d%8 != 0 || d <= 0 {
+			return Tiling{}, fmt.Errorf("workload: opengemm matmul dims %dx%dx%d must be positive multiples of 8", mDim, kDim, nDim)
+		}
+	}
+	return Tiling{TileM: 8, TileN: 8, Launches: (mDim / 8) * (nDim / 8)}, nil
+}
+
 // GemminiTiledMatmul builds the square C[n,n] = A[n,n] x B[n,n] workload.
 func GemminiTiledMatmul(n int) (*ir.Module, error) {
 	return GemminiTiledMatmulMKN(n, n, n)
