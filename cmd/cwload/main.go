@@ -15,6 +15,14 @@
 // response for its cell — the memoized simulator is deterministic, so any
 // difference is a serving bug. Exit status is non-zero on any transport
 // error, non-200 response or byte-identity mismatch.
+//
+// With -retry-429 (the default) workers behave like well-behaved
+// configuration-search clients under backpressure: a 429 response is not
+// an error — the worker sleeps the server's Retry-After hint (capped by
+// -retry-max-delay) and re-sends, up to -retry-max attempts per request.
+// The latency summary reports how many backpressure retries the run
+// absorbed; only requests still failing after the retries count as
+// errors.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"configwall/internal/core"
 	"configwall/internal/serve"
@@ -42,6 +51,9 @@ func main() {
 	zipfS := flag.Float64("zipf", 1.4, "zipf skew parameter (> 1; larger = hotter hot set)")
 	seed := flag.Int64("seed", 1, "request-mix seed")
 	verify := flag.Bool("verify", true, "assert responses for one cell are byte-identical")
+	retry429 := flag.Bool("retry-429", true, "honor 429 Retry-After with capped backoff instead of counting an error")
+	retryMax := flag.Int("retry-max", 4, "max attempts per request under 429 backpressure")
+	retryMaxDelay := flag.Duration("retry-max-delay", 2*time.Second, "cap on each backpressure backoff sleep")
 	out := flag.String("out", "", "also write the report to this file")
 	flag.Parse()
 
@@ -81,13 +93,16 @@ func main() {
 	fmt.Printf("cwload: %d requests, %d clients, %d-cell universe, zipf s=%g seed=%d against %s\n",
 		*n, *clients, len(exps), *zipfS, *seed, *url)
 	rep, err := serve.LoadGen(ctx, client, serve.LoadGenOptions{
-		Experiments: exps,
-		Options:     core.RunOptions{Engine: engine},
-		Requests:    *n,
-		Clients:     *clients,
-		ZipfS:       *zipfS,
-		Seed:        *seed,
-		Verify:      *verify,
+		Experiments:   exps,
+		Options:       core.RunOptions{Engine: engine},
+		Requests:      *n,
+		Clients:       *clients,
+		ZipfS:         *zipfS,
+		Seed:          *seed,
+		Verify:        *verify,
+		Retry429:      *retry429,
+		RetryMax:      *retryMax,
+		RetryMaxDelay: *retryMaxDelay,
 	})
 	if err != nil {
 		fatal("%v", err)

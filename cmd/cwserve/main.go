@@ -35,7 +35,9 @@
 //	     queue depth and slot gauges, coalescing and rejection counters,
 //	     per-endpoint latency histograms.
 //	GET  /healthz
-//	     200 "ok" while serving; 503 once draining.
+//	     200 "ok" while serving; 200 "degraded" when the persistent
+//	     store has failed at least once (results still serve from
+//	     memory but stopped being durable); 503 once draining.
 //
 // Responses: 400 names the invalid field and lists the valid registry
 // names (requests above -max-n or -max-sweep-cells are also 400); 429
@@ -88,6 +90,12 @@ func main() {
 	flag.Parse()
 
 	ropts := core.RunnerOptions{Workers: *workers, MaxCells: *maxCells}
+	// Store failures degrade the daemon instead of failing requests:
+	// results keep serving from memory, /healthz reports "degraded", and
+	// every tolerated failure is logged here so operators see what broke.
+	ropts.OnStoreError = func(op string, e core.Experiment, err error) {
+		logf("store %s failed for %s (serving degraded, results non-durable): %v", op, e, err)
+	}
 	var st *store.DiskStore
 	if *cacheDir != "" {
 		var err error

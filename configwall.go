@@ -48,6 +48,7 @@ import (
 	"configwall/internal/analytic"
 	"configwall/internal/core"
 	"configwall/internal/difftest"
+	"configwall/internal/fault"
 	"configwall/internal/irgen"
 	"configwall/internal/roofline"
 	"configwall/internal/serve"
@@ -401,3 +402,59 @@ type LoadGenReport = serve.LoadGenReport
 func LoadGen(ctx context.Context, c *ServeClient, o LoadGenOptions) (LoadGenReport, error) {
 	return serve.LoadGen(ctx, c, o)
 }
+
+// --- Fault injection & resilience (internal/fault, DESIGN.md §11) ---
+//
+// The robustness subsystem behind cmd/cwchaos: a seeded deterministic
+// fault-injection plan threaded through the store, the HTTP transport and
+// the serving daemon, plus the self-healing client layers (retry with
+// capped jittered backoff, sweep resume) that the chaos campaigns verify
+// against the byte-identity and no-duplicate-simulation invariants.
+
+// FaultSite names one injection point (e.g. "store.save.torn",
+// "transport.reset", "serve.run.panic").
+type FaultSite = fault.Site
+
+// Injection sites threaded through the store, transport and daemon.
+const (
+	FaultStoreSaveFail        = fault.StoreSaveFail
+	FaultStoreSaveTorn        = fault.StoreSaveTorn
+	FaultStoreLoadErr         = fault.StoreLoadErr
+	FaultStoreLoadSlow        = fault.StoreLoadSlow
+	FaultTransportReset       = fault.TransportReset
+	FaultTransportTimeout     = fault.TransportTimeout
+	FaultTransportUnavailable = fault.TransportUnavailable
+	FaultTransportTruncate    = fault.TransportTruncate
+	FaultServeHandlerPanic    = fault.ServeHandlerPanic
+	FaultServeRunPanic        = fault.ServeRunPanic
+)
+
+// FaultRule schedules one site: fire probability, warm-up passages, total
+// budget and (for slow sites) the injected delay.
+type FaultRule = fault.Rule
+
+// FaultPlan is an installed fault schedule with per-site seeded decision
+// streams. A nil *FaultPlan is valid and permanently quiet.
+type FaultPlan = fault.Plan
+
+// NewFaultPlan builds a deterministic fault plan: each site draws from its
+// own RNG seeded by (seed, site), so schedules replay exactly.
+func NewFaultPlan(seed int64, rules map[FaultSite]FaultRule) *FaultPlan {
+	return fault.New(seed, rules)
+}
+
+// FaultStore wraps a result store with scheduled save/load failures, torn
+// writes and slow loads.
+type FaultStore = fault.Store
+
+// FaultTransport wraps an http.RoundTripper with scheduled connection
+// resets, timeouts, synthesized 503s and response-body truncation.
+type FaultTransport = fault.Transport
+
+// RetryPolicy drives the serve client's self-healing layer: capped
+// exponential backoff with deterministic jitter, honoring Retry-After.
+type RetryPolicy = serve.RetryPolicy
+
+// Retryable reports whether an error from the serve client is worth
+// retrying on an idempotent request.
+func Retryable(err error) bool { return serve.Retryable(err) }

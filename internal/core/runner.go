@@ -120,6 +120,13 @@ type RunnerOptions struct {
 	// Predictor, when non-nil, serves FidelityScreen/FidelityCached
 	// requests analytically. A runner without one rejects those tiers.
 	Predictor Predictor
+	// OnStoreError, when non-nil, observes every persistent-store
+	// operational failure the runner tolerates: op is "load" or "save".
+	// The runner degrades rather than fails — a broken store means
+	// results stop being durable, not that serving stops — so this hook
+	// is how a daemon logs and alerts on the degradation. It is called
+	// outside the runner lock and must be safe for concurrent use.
+	OnStoreError func(op string, e Experiment, err error)
 }
 
 // Runner executes experiments on a bounded worker pool with a
@@ -130,9 +137,10 @@ type RunnerOptions struct {
 //
 // A Runner is safe for concurrent use.
 type Runner struct {
-	workers  int
-	store    Store
-	maxCells int
+	workers      int
+	store        Store
+	maxCells     int
+	onStoreError func(op string, e Experiment, err error)
 
 	mu        sync.Mutex
 	cells     map[cacheKey]*list.Element
@@ -154,12 +162,13 @@ func NewRunnerWith(opts RunnerOptions) *Runner {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Runner{
-		workers:   workers,
-		store:     opts.Store,
-		maxCells:  opts.MaxCells,
-		cells:     map[cacheKey]*list.Element{},
-		lru:       list.New(),
-		predictor: opts.Predictor,
+		workers:      workers,
+		store:        opts.Store,
+		maxCells:     opts.MaxCells,
+		onStoreError: opts.OnStoreError,
+		cells:        map[cacheKey]*list.Element{},
+		lru:          list.New(),
+		predictor:    opts.Predictor,
 	}
 }
 
@@ -232,6 +241,17 @@ func (r *Runner) bump(f func(*CacheStats)) {
 	r.mu.Unlock()
 }
 
+// storeError records one tolerated persistent-store failure and notifies
+// the OnStoreError observer. Every store fault funnels through here: the
+// runner keeps serving from memory (degraded mode) and only the counter
+// and the hook reveal the degradation.
+func (r *Runner) storeError(op string, e Experiment, err error) {
+	r.bump(func(s *CacheStats) { s.StoreErrors++ })
+	if r.onStoreError != nil {
+		r.onStoreError(op, e, err)
+	}
+}
+
 // Run executes one experiment, memoized: the first request for a cell
 // consults the persistent store, then compiles and simulates on a store
 // miss; every later request (including a concurrent duplicate) returns the
@@ -265,7 +285,7 @@ func (r *Runner) Run(ctx context.Context, e Experiment, opts RunOptions) (Result
 			res, ok, err := r.store.Load(e, full)
 			switch {
 			case err != nil:
-				r.bump(func(s *CacheStats) { s.StoreErrors++ })
+				r.storeError("load", e, err)
 			case ok:
 				r.bump(func(s *CacheStats) { s.StoreHits++ })
 				// Publish for the next request; a racing claim wins and
@@ -333,7 +353,7 @@ func (r *Runner) compute(e Experiment, opts RunOptions) (Result, error) {
 		res, ok, err := r.store.Load(e, opts)
 		switch {
 		case err != nil:
-			r.bump(func(s *CacheStats) { s.StoreErrors++ })
+			r.storeError("load", e, err)
 		case ok:
 			r.bump(func(s *CacheStats) { s.StoreHits++ })
 			return res, nil
@@ -345,7 +365,9 @@ func (r *Runner) compute(e Experiment, opts RunOptions) (Result, error) {
 	r.bump(func(s *CacheStats) { s.Runs++ })
 	if r.store != nil && err == nil {
 		if serr := r.store.Save(e, opts, res); serr != nil {
-			r.bump(func(s *CacheStats) { s.StoreErrors++ })
+			// Degraded mode: the result stays served from memory; only
+			// durability is lost. Count it and tell the observer.
+			r.storeError("save", e, serr)
 		}
 	}
 	return res, err
@@ -476,7 +498,7 @@ func (r *Runner) Warm(ctx context.Context, exps []Experiment, opts RunOptions) i
 		}
 		res, ok, err := r.store.Load(e, opts)
 		if err != nil {
-			r.bump(func(s *CacheStats) { s.StoreErrors++ })
+			r.storeError("load", e, err)
 			continue
 		}
 		if !ok {
@@ -512,7 +534,7 @@ func (r *Runner) Missing(ctx context.Context, exps []Experiment, opts RunOptions
 		if r.store != nil {
 			_, ok, err := r.store.Load(e, opts)
 			if err != nil {
-				r.bump(func(s *CacheStats) { s.StoreErrors++ })
+				r.storeError("load", e, err)
 			} else if ok {
 				continue
 			}

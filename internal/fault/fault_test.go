@@ -1,0 +1,199 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFireDeterminism: the same seed produces the same decision sequence
+// at a site, and different seeds (overwhelmingly) different ones.
+func TestFireDeterminism(t *testing.T) {
+	draw := func(seed int64) []bool {
+		p := New(seed, map[Site]Rule{TransportReset: {Rate: 0.3}})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = p.Fire(TransportReset)
+		}
+		return out
+	}
+	a, b := draw(1), draw(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 1 reruns diverge at passage %d", i)
+		}
+	}
+	c := draw(2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical 200-passage sequences")
+	}
+}
+
+// TestSiteIndependence: adding a rule for one site must not shift another
+// site's decision stream (each site draws from its own RNG).
+func TestSiteIndependence(t *testing.T) {
+	solo := New(7, map[Site]Rule{StoreSaveFail: {Rate: 0.5}})
+	both := New(7, map[Site]Rule{StoreSaveFail: {Rate: 0.5}, StoreLoadErr: {Rate: 0.5}})
+	for i := 0; i < 100; i++ {
+		// Interleave passages at the other site to try to perturb it.
+		both.Fire(StoreLoadErr)
+		if solo.Fire(StoreSaveFail) != both.Fire(StoreSaveFail) {
+			t.Fatalf("save-site stream shifted at passage %d when a load rule was added", i)
+		}
+	}
+}
+
+// TestSchedule: After suppresses early passages, Max caps total
+// injections, and Counts reports both.
+func TestSchedule(t *testing.T) {
+	p := New(1, map[Site]Rule{ServeRunPanic: {Rate: 1, After: 3, Max: 2}})
+	var fires []int
+	for i := 0; i < 10; i++ {
+		if p.Fire(ServeRunPanic) {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 3 || fires[1] != 4 {
+		t.Errorf("fires at %v, want exactly passages 3 and 4 (After=3, Max=2, Rate=1)", fires)
+	}
+	c := p.Counts()[ServeRunPanic]
+	if c.Passages != 10 || c.Fired != 2 {
+		t.Errorf("counts = %+v, want 10 passages, 2 fired", c)
+	}
+	if p.Fired() != 2 {
+		t.Errorf("Fired() = %d, want 2", p.Fired())
+	}
+}
+
+// TestNilPlanQuiet: a nil plan (and a plan without a rule for the site)
+// never fires, never delays, and summarizes empty.
+func TestNilPlanQuiet(t *testing.T) {
+	var p *Plan
+	if p.Fire(TransportReset) || p.FireDelay(StoreLoadSlow) != 0 {
+		t.Error("nil plan fired")
+	}
+	if p.Counts() != nil || p.Fired() != 0 || p.Summary() != "" {
+		t.Error("nil plan reported non-empty state")
+	}
+	q := New(1, nil)
+	if q.Fire(TransportReset) {
+		t.Error("ruleless plan fired")
+	}
+}
+
+// TestFireDelay returns the rule's delay exactly when the site fires.
+func TestFireDelay(t *testing.T) {
+	p := New(1, map[Site]Rule{StoreLoadSlow: {Rate: 1, Max: 1, Delay: 5 * time.Millisecond}})
+	if d := p.FireDelay(StoreLoadSlow); d != 5*time.Millisecond {
+		t.Errorf("first passage delay = %v, want 5ms", d)
+	}
+	if d := p.FireDelay(StoreLoadSlow); d != 0 {
+		t.Errorf("capped passage delay = %v, want 0", d)
+	}
+}
+
+// TestSummaryDeterministic: Summary output is sorted by site name.
+func TestSummaryDeterministic(t *testing.T) {
+	p := New(1, map[Site]Rule{TransportReset: {}, StoreSaveFail: {}, ServeRunPanic: {}})
+	p.Fire(TransportReset)
+	want := "serve.run.panic: fired 0 of 0 passages\n" +
+		"store.save.fail: fired 0 of 0 passages\n" +
+		"transport.reset: fired 0 of 1 passages\n"
+	if got := p.Summary(); got != want {
+		t.Errorf("summary:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestTransportFaults exercises each transport site against a live
+// backend.
+func TestTransportFaults(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"payload":"0123456789abcdef0123456789abcdef"}`)
+	}))
+	defer backend.Close()
+
+	get := func(tr *Transport) (*http.Response, []byte, error) {
+		c := &http.Client{Transport: tr}
+		resp, err := c.Get(backend.URL)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		body, rerr := io.ReadAll(resp.Body)
+		return resp, body, rerr
+	}
+
+	t.Run("reset", func(t *testing.T) {
+		_, _, err := get(&Transport{Plan: New(1, map[Site]Rule{TransportReset: {Rate: 1}})})
+		if err == nil || !contains(err.Error(), "connection reset") {
+			t.Errorf("err = %v, want injected connection reset", err)
+		}
+	})
+	t.Run("timeout", func(t *testing.T) {
+		_, _, err := get(&Transport{Plan: New(1, map[Site]Rule{TransportTimeout: {Rate: 1}})})
+		var ne interface{ Timeout() bool }
+		if err == nil || !errors.As(err, &ne) || !ne.Timeout() {
+			t.Errorf("err = %v, want a timeout net.Error", err)
+		}
+	})
+	t.Run("503", func(t *testing.T) {
+		resp, body, err := get(&Transport{Plan: New(1, map[Site]Rule{TransportUnavailable: {Rate: 1}}), RetryAfter: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("status = %d, want 503", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") != "2" {
+			t.Errorf("Retry-After = %q, want 2", resp.Header.Get("Retry-After"))
+		}
+		if !contains(string(body), "injected 503") {
+			t.Errorf("body = %q", body)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		_, body, err := get(&Transport{Plan: New(1, map[Site]Rule{TransportTruncate: {Rate: 1}})})
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("read err = %v, want io.ErrUnexpectedEOF", err)
+		}
+		if len(body) == 0 {
+			t.Error("truncated body delivered nothing; want a strict prefix")
+		}
+	})
+	t.Run("quiet", func(t *testing.T) {
+		resp, body, err := get(&Transport{})
+		if err != nil || resp.StatusCode != http.StatusOK || !contains(string(body), "payload") {
+			t.Errorf("pass-through: %v %v %q", err, resp, body)
+		}
+	})
+}
+
+// TestTornEntry: tearEntry leaves a strict prefix of the file.
+func TestTornEntry(t *testing.T) {
+	path := t.TempDir() + "/entry.json"
+	if err := os.WriteFile(path, []byte(`{"schema":2,"key":"k","result":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tearEntry(path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 17 {
+		t.Errorf("torn entry is %d bytes, want half of 34", len(data))
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"configwall/internal/core"
+	"configwall/internal/store"
+)
+
+// Injected store errors. They are distinguishable from real operational
+// failures only by message — exactly how the runner should experience
+// them.
+var (
+	// ErrSaveInjected is the operational error StoreSaveFail injects.
+	ErrSaveInjected = errors.New("fault: injected store save failure")
+	// ErrLoadInjected is the operational error StoreLoadErr injects.
+	ErrLoadInjected = errors.New("fault: injected store load failure")
+)
+
+// Store wraps a core.Store with plan-driven failures: saves that error,
+// saves that report success but leave a torn entry behind, loads that
+// error, and loads that stall. It implements core.Store and is safe for
+// concurrent use when the inner store is.
+type Store struct {
+	// Inner is the real store. Required.
+	Inner core.Store
+	// Disk, when set (and usually Inner itself), enables StoreSaveTorn:
+	// torn writes need the entry's on-disk path to corrupt.
+	Disk *store.DiskStore
+	// Plan schedules the faults; nil injects nothing.
+	Plan *Plan
+}
+
+// Load implements core.Store, injecting StoreLoadSlow delays and
+// StoreLoadErr operational failures ahead of the real load.
+func (s *Store) Load(e core.Experiment, opts core.RunOptions) (core.Result, bool, error) {
+	if d := s.Plan.FireDelay(StoreLoadSlow); d > 0 {
+		time.Sleep(d)
+	}
+	if s.Plan.Fire(StoreLoadErr) {
+		return core.Result{}, false, fmt.Errorf("load %s: %w", e, ErrLoadInjected)
+	}
+	return s.Inner.Load(e, opts)
+}
+
+// Save implements core.Store. StoreSaveFail fails the save outright;
+// StoreSaveTorn lets the save succeed and then truncates the entry
+// mid-file — the caller believes the result is durable, but a reboot must
+// treat the entry as a miss (the reload-tolerance invariant the chaos
+// campaign checks).
+func (s *Store) Save(e core.Experiment, opts core.RunOptions, res core.Result) error {
+	if s.Plan.Fire(StoreSaveFail) {
+		return fmt.Errorf("save %s: %w", e, ErrSaveInjected)
+	}
+	if err := s.Inner.Save(e, opts, res); err != nil {
+		return err
+	}
+	if s.Disk != nil && s.Plan.Fire(StoreSaveTorn) {
+		tearEntry(s.Disk.EntryPath(e, opts))
+	}
+	return nil
+}
+
+// tearEntry simulates a torn write: the entry keeps a valid-looking JSON
+// prefix but loses its tail. Failures tearing are ignored — the fault is
+// best-effort; the invariant under test is the reader's, not the
+// injector's.
+func tearEntry(path string) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return
+	}
+	os.Truncate(path, info.Size()/2)
+}

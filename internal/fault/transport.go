@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// netError is an injected transport failure implementing net.Error, so the
+// client's retry classifier sees it exactly as it would a real one.
+type netError struct {
+	msg     string
+	timeout bool
+}
+
+func (e *netError) Error() string   { return e.msg }
+func (e *netError) Timeout() bool   { return e.timeout }
+func (e *netError) Temporary() bool { return true }
+
+// Transport wraps an http.RoundTripper with plan-driven network faults:
+// connection resets and timeouts before the request is sent, synthesized
+// 503 responses, and response bodies truncated mid-stream. It implements
+// http.RoundTripper; a nil Plan makes it a transparent pass-through.
+//
+// Faults are injected before the request reaches the wire, so a reset or
+// timeout never has server-side effects — matching the retry contract
+// (only idempotent requests are retried, and an injected failure must not
+// have half-applied anything).
+type Transport struct {
+	// Base is the real transport; nil selects http.DefaultTransport.
+	Base http.RoundTripper
+	// Plan schedules the faults; nil injects nothing.
+	Plan *Plan
+	// RetryAfter is the Retry-After seconds hint synthesized 503s carry;
+	// 0 omits the header.
+	RetryAfter int
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Plan.Fire(TransportReset) {
+		return nil, &netError{msg: "fault: injected connection reset"}
+	}
+	if t.Plan.Fire(TransportTimeout) {
+		return nil, &netError{msg: "fault: injected timeout", timeout: true}
+	}
+	if t.Plan.Fire(TransportUnavailable) {
+		return t.unavailable(req), nil
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err == nil && t.Plan.Fire(TransportTruncate) {
+		resp.Body = &truncatingBody{inner: resp.Body}
+		// The advertised length no longer matches what the body will
+		// deliver — exactly like a connection cut mid-transfer.
+		resp.ContentLength = -1
+	}
+	return resp, err
+}
+
+// unavailable synthesizes a 503 without contacting the server, the way an
+// overloaded proxy or LB answers for a backend it gave up on.
+func (t *Transport) unavailable(req *http.Request) *http.Response {
+	h := make(http.Header)
+	if t.RetryAfter > 0 {
+		h.Set("Retry-After", strconv.Itoa(t.RetryAfter))
+	}
+	body := "fault: injected 503 service unavailable\n"
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", http.StatusServiceUnavailable, http.StatusText(http.StatusServiceUnavailable)),
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncatingBody delivers the first half of the first chunk it reads, then
+// fails with io.ErrUnexpectedEOF — a mid-stream connection drop as the
+// reader experiences it.
+type truncatingBody struct {
+	inner io.ReadCloser
+	cut   bool
+}
+
+func (b *truncatingBody) Read(p []byte) (int, error) {
+	if b.cut {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n, err := b.inner.Read(p)
+	if err != nil && err != io.EOF {
+		return n, err
+	}
+	// A small body arrives in one Read carrying io.EOF; truncation must
+	// still cut it, so EOF here is treated like a successful chunk.
+	b.cut = true
+	n /= 2
+	if n == 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+func (b *truncatingBody) Close() error { return b.inner.Close() }

@@ -5,39 +5,54 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 
 	"configwall/internal/core"
 )
 
 // Client is a Go client for a cwserve daemon. The zero HTTPClient uses a
 // pooled transport sized for load generation (many concurrent keep-alive
-// connections to one host).
+// connections to one host); it is built lazily on first use, so a
+// zero-value Client gets the same pooling NewClient configures instead of
+// silently falling back to http.DefaultClient.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
 	// HTTPClient overrides the underlying HTTP client.
 	HTTPClient *http.Client
+
+	pooledOnce sync.Once
+	pooled     *http.Client
 }
 
 // NewClient returns a client for the server at base.
 func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTPClient: newPooledHTTPClient()}
+}
+
+// newPooledHTTPClient builds the load-generation transport: many
+// keep-alive connections to one host, so worker pools don't serialize on
+// the default two-per-host idle cap.
+func newPooledHTTPClient() *http.Client {
 	t := http.DefaultTransport.(*http.Transport).Clone()
 	t.MaxIdleConns = 256
 	t.MaxIdleConnsPerHost = 256
-	return &Client{Base: strings.TrimRight(base, "/"), HTTPClient: &http.Client{Transport: t}}
+	return &http.Client{Transport: t}
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	c.pooledOnce.Do(func() { c.pooled = newPooledHTTPClient() })
+	return c.pooled
 }
 
 // StatusError is a non-2xx server response; callers can branch on Code
@@ -118,15 +133,32 @@ func (c *Client) Run(ctx context.Context, e core.Experiment, opts core.RunOption
 	return res, nil
 }
 
-// SweepSummary is the final event of a streamed sweep.
+// SweepSummary is the final trailer of a streamed sweep.
 type SweepSummary struct {
 	Cells  int
 	Failed int
+	// Status is the trailer's verdict: "ok", or "error" when any cell
+	// failed.
+	Status string
 }
+
+// ErrTruncatedStream reports an NDJSON sweep stream that ended without a
+// valid trailer sentinel, or whose events don't add up to the trailer's
+// cell count — the signature of a connection cut mid-sweep. It is
+// retryable: the server's memoization makes a replayed sweep cheap, and
+// SweepWithResume skips cells already delivered.
+var ErrTruncatedStream = errors.New("truncated sweep stream")
 
 // Sweep streams the sweep, invoking fn for every cell event in completion
 // order; a non-nil fn error aborts the stream. It returns the server's
-// final summary.
+// final trailer summary.
+//
+// The stream is only trusted end-to-end: it must close with a trailer
+// event (Done true, Status set), every cell must have produced exactly
+// one event before it, and nothing may follow it. Any shortfall — an
+// early EOF, a missing or statusless trailer, an undecodable line, a
+// cell-count mismatch — is reported as ErrTruncatedStream rather than
+// silently returning a partial sweep.
 func (c *Client) Sweep(ctx context.Context, rq SweepRequest, fn func(SweepEvent) error) (SweepSummary, error) {
 	body, err := json.Marshal(rq)
 	if err != nil {
@@ -150,17 +182,27 @@ func (c *Client) Sweep(ctx context.Context, rq SweepRequest, fn func(SweepEvent)
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // traces can make lines large
 	var summary SweepSummary
-	sawSummary := false
+	sawTrailer := false
+	cellEvents := 0
 	for sc.Scan() {
+		if sawTrailer {
+			return summary, fmt.Errorf("%w: events after the trailer", ErrTruncatedStream)
+		}
 		var ev SweepEvent
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			return summary, fmt.Errorf("decoding sweep event: %w", err)
+			// A cut mid-line leaves a partial JSON document; report it as
+			// truncation so retry layers treat it like any other drop.
+			return summary, fmt.Errorf("%w: undecodable sweep event: %v", ErrTruncatedStream, err)
 		}
 		if ev.Done {
-			summary = SweepSummary{Cells: ev.Cells, Failed: ev.Failed}
-			sawSummary = true
+			if ev.Status == "" {
+				return summary, fmt.Errorf("%w: trailer has no status", ErrTruncatedStream)
+			}
+			summary = SweepSummary{Cells: ev.Cells, Failed: ev.Failed, Status: ev.Status}
+			sawTrailer = true
 			continue
 		}
+		cellEvents++
 		if fn != nil {
 			if err := fn(ev); err != nil {
 				return summary, err
@@ -170,8 +212,11 @@ func (c *Client) Sweep(ctx context.Context, rq SweepRequest, fn func(SweepEvent)
 	if err := sc.Err(); err != nil {
 		return summary, err
 	}
-	if !sawSummary {
-		return summary, fmt.Errorf("sweep stream ended without a summary event")
+	if !sawTrailer {
+		return summary, fmt.Errorf("%w: stream ended without a trailer", ErrTruncatedStream)
+	}
+	if cellEvents != summary.Cells {
+		return summary, fmt.Errorf("%w: stream delivered %d of %d cells", ErrTruncatedStream, cellEvents, summary.Cells)
 	}
 	return summary, nil
 }

@@ -18,6 +18,11 @@ import (
 type flightGroup struct {
 	base context.Context // ancestor of every leader context (server lifetime)
 
+	// onPanic, when non-nil, observes every panic the group contains
+	// (set once before serving starts; the server counts them in
+	// cwserve_panics_recovered_total).
+	onPanic func()
+
 	mu sync.Mutex
 	m  map[string]*flightCall
 }
@@ -49,6 +54,9 @@ func (g *flightGroup) start(key string, fn func(context.Context) (core.Result, e
 		defer func() {
 			if r := recover(); r != nil {
 				c.err = fmt.Errorf("serve: panic computing %s: %v", key, r)
+				if g.onPanic != nil {
+					g.onPanic()
+				}
 			}
 			g.mu.Lock()
 			// A cancelled-then-orphaned call may have been replaced by a

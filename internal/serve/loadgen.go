@@ -41,6 +41,18 @@ type LoadGenOptions struct {
 	// to the first response seen for that cell (the memoized simulator is
 	// deterministic, so any difference is a serving bug).
 	Verify bool
+	// Retry429 makes workers honor 429 backpressure the way a well-behaved
+	// client does: sleep the server's Retry-After hint (floored by a small
+	// exponential backoff, capped by RetryMaxDelay) and re-send, instead of
+	// counting the rejection as an error. Only the final outcome of each
+	// logical request lands in the status histogram; retries are reported
+	// separately.
+	Retry429 bool
+	// RetryMax bounds the attempts per logical request when Retry429 is
+	// set; <= 0 selects 4.
+	RetryMax int
+	// RetryMaxDelay caps each backoff sleep; <= 0 selects 2s.
+	RetryMaxDelay time.Duration
 }
 
 // LoadGenReport summarizes one load-generation run.
@@ -49,6 +61,7 @@ type LoadGenReport struct {
 	Errors     int           // transport failures and non-200 responses
 	Mismatched int           // byte-identity violations (Verify mode)
 	Distinct   int           // distinct cells requested
+	Retries    int           // 429s retried after honoring Retry-After (Retry429 mode)
 	StatusHist map[int]int   // responses by HTTP status (0 = transport error)
 	Elapsed    time.Duration // wall clock of the whole run
 	Throughput float64       // requests per second
@@ -64,7 +77,7 @@ func (r LoadGenReport) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "loadgen: %d requests over %d distinct cells in %v (%.0f req/s)\n",
 		r.Requests, r.Distinct, r.Elapsed.Round(time.Millisecond), r.Throughput)
-	fmt.Fprintf(&sb, "loadgen: errors %d, byte-identity mismatches %d\n", r.Errors, r.Mismatched)
+	fmt.Fprintf(&sb, "loadgen: errors %d, byte-identity mismatches %d, backpressure retries %d\n", r.Errors, r.Mismatched, r.Retries)
 	codes := make([]int, 0, len(r.StatusHist))
 	for c := range r.StatusHist {
 		codes = append(codes, c)
@@ -125,9 +138,19 @@ func LoadGen(ctx context.Context, c *Client, o LoadGenOptions) (LoadGenReport, e
 	latencies := make([]time.Duration, requests)
 	statuses := make([]int, requests)
 
+	retryMax := o.RetryMax
+	if retryMax <= 0 {
+		retryMax = 4
+	}
+	retryCap := o.RetryMaxDelay
+	if retryCap <= 0 {
+		retryCap = 2 * time.Second
+	}
+
 	var mu sync.Mutex // guards canonical + the failure counters
 	canonical := map[int][]byte{}
 	errorCount, mismatched := 0, 0
+	var retries atomic.Int64
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -142,8 +165,37 @@ func LoadGen(ctx context.Context, c *Client, o LoadGenOptions) (LoadGenReport, e
 					return
 				}
 				cell := seq[i]
+				// Latency is the logical request's wall time: with
+				// Retry429 it includes the honored backoff sleeps, which
+				// is exactly what a well-behaved client experiences under
+				// server backpressure.
 				t0 := time.Now()
-				body, err := c.RunRaw(ctx, o.Experiments[cell], o.Options)
+				var body []byte
+				var err error
+				for attempt := 1; ; attempt++ {
+					body, err = c.RunRaw(ctx, o.Experiments[cell], o.Options)
+					var se *StatusError
+					if !o.Retry429 || err == nil || ctx.Err() != nil ||
+						!errors.As(err, &se) || se.Code != http.StatusTooManyRequests ||
+						attempt >= retryMax {
+						break
+					}
+					// Honor the server's drain-rate-derived hint, floored
+					// by a small exponential backoff and capped so one bad
+					// hint cannot wedge the run.
+					d := 50 * time.Millisecond << (attempt - 1)
+					if hint := time.Duration(se.RetryAfter) * time.Second; hint > d {
+						d = hint
+					}
+					if d > retryCap {
+						d = retryCap
+					}
+					retries.Add(1)
+					select {
+					case <-ctx.Done():
+					case <-time.After(d):
+					}
+				}
 				latencies[i] = time.Since(t0)
 				status := http.StatusOK
 				if err != nil {
@@ -183,6 +235,7 @@ func LoadGen(ctx context.Context, c *Client, o LoadGenOptions) (LoadGenReport, e
 		Errors:     errorCount,
 		Mismatched: mismatched,
 		Distinct:   len(distinct),
+		Retries:    int(retries.Load()),
 		StatusHist: map[int]int{},
 		Elapsed:    elapsed,
 		Throughput: float64(requests) / elapsed.Seconds(),

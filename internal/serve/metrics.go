@@ -45,6 +45,7 @@ type metrics struct {
 	coalesced  uint64
 	rejected   map[string]uint64 // reason -> count
 	sweepCells map[string]uint64 // fidelity tier -> cells answered
+	panics     uint64            // panics contained by the recovery layers
 }
 
 func newMetrics() *metrics {
@@ -75,6 +76,7 @@ func (m *metrics) observe(endpoint string, code int, d time.Duration) {
 
 func (m *metrics) coalesce()            { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
 func (m *metrics) reject(reason string) { m.mu.Lock(); m.rejected[reason]++; m.mu.Unlock() }
+func (m *metrics) panicked()            { m.mu.Lock(); m.panics++; m.mu.Unlock() }
 
 // sweepTier counts n sweep cells answered by the given fidelity tier
 // ("analytic" or "simulated").
@@ -118,6 +120,10 @@ func (m *metrics) render(sb *strings.Builder, g gauges) {
 	fmt.Fprintf(sb, "# HELP cwserve_coalesced_total Requests served by attaching to an in-flight identical computation.\n")
 	fmt.Fprintf(sb, "# TYPE cwserve_coalesced_total counter\n")
 	fmt.Fprintf(sb, "cwserve_coalesced_total %d\n", m.coalesced)
+
+	fmt.Fprintf(sb, "# HELP cwserve_panics_recovered_total Panics contained by the serving recovery layers (handler middleware and flight group).\n")
+	fmt.Fprintf(sb, "# TYPE cwserve_panics_recovered_total counter\n")
+	fmt.Fprintf(sb, "cwserve_panics_recovered_total %d\n", m.panics)
 
 	fmt.Fprintf(sb, "# HELP cwserve_rejected_total Requests shed by admission control, by reason.\n")
 	fmt.Fprintf(sb, "# TYPE cwserve_rejected_total counter\n")

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+
+	"configwall/internal/core"
+)
+
+// RetryPolicy drives the client's self-healing layer: capped exponential
+// backoff with deterministic jitter, honoring server Retry-After hints.
+// Only idempotent requests go through it — /v1/run is a memoized GET and
+// /v1/sweep replays are deduplicated by cell index — so a retry can never
+// double-apply anything; at worst it re-asks a question the server has
+// already answered from cache.
+//
+// The zero value is usable and selects the defaults below.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries (first attempt included);
+	// <= 0 selects 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt. <= 0 selects 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps every sleep, including server Retry-After hints —
+	// a hinted delay above the cap sleeps the cap, so one bad hint can
+	// never wedge a campaign. <= 0 selects 2s.
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic: equal seeds replay the exact
+	// backoff sequence (the chaos harness depends on it). 0 is a valid
+	// seed, not "random".
+	Seed int64
+	// Sleep replaces the delay function; nil selects a real
+	// context-aware sleep. Tests inject instant sleeps here.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when set, observes every retry with the attempt number
+	// (1-based, the attempt that just failed), the chosen delay and the
+	// error being retried.
+	OnRetry func(attempt int, delay time.Duration, err error)
+}
+
+const (
+	defaultRetryAttempts  = 4
+	defaultRetryBaseDelay = 50 * time.Millisecond
+	defaultRetryMaxDelay  = 2 * time.Second
+)
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return defaultRetryAttempts
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseDelay <= 0 {
+		return defaultRetryBaseDelay
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.MaxDelay <= 0 {
+		return defaultRetryMaxDelay
+	}
+	return p.MaxDelay
+}
+
+// sleep waits for d or until ctx is done, whichever comes first.
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// delay computes the wait before retry number `retry` (1-based): capped
+// exponential backoff, deterministic jitter in [½, 1]× the backoff, and
+// the server's Retry-After hint as a floor (still under the cap).
+func (p RetryPolicy) delay(retry int, rng *rand.Rand, err error) time.Duration {
+	d := p.base() << (retry - 1)
+	if max := p.cap(); d > max || d <= 0 { // <= 0 guards shift overflow
+		d = max
+	}
+	d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+	var se *StatusError
+	if errors.As(err, &se) && se.RetryAfter > 0 {
+		if hint := time.Duration(se.RetryAfter) * time.Second; hint > d {
+			d = hint
+		}
+	}
+	if max := p.cap(); d > max {
+		d = max
+	}
+	return d
+}
+
+// Retryable reports whether err is worth retrying on an idempotent
+// request: transport-level failures (resets, timeouts, any net.Error),
+// bodies cut mid-stream, truncated NDJSON sweeps, server backpressure
+// (429) and transient server errors (5xx). Context cancellation and
+// client-side mistakes (other 4xx) are permanent.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code == 429 || se.Code >= 500
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, ErrTruncatedStream) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// RunRawWithRetry is RunRaw behind the retry policy: it re-issues the
+// (idempotent, memoized) request on retryable failures until it succeeds,
+// a permanent error surfaces, or attempts run out.
+func (c *Client) RunRawWithRetry(ctx context.Context, e core.Experiment, opts core.RunOptions, pol RetryPolicy) ([]byte, error) {
+	rng := rand.New(rand.NewSource(pol.Seed))
+	attempts := pol.attempts()
+	for attempt := 1; ; attempt++ {
+		body, err := c.RunRaw(ctx, e, opts)
+		if err == nil {
+			return body, nil
+		}
+		if !Retryable(err) || attempt == attempts {
+			return nil, fmt.Errorf("run %s after %d attempts: %w", e, attempt, err)
+		}
+		d := pol.delay(attempt, rng, err)
+		if pol.OnRetry != nil {
+			pol.OnRetry(attempt, d, err)
+		}
+		if serr := pol.sleep(ctx, d); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// RunWithRetry is Run behind the retry policy.
+func (c *Client) RunWithRetry(ctx context.Context, e core.Experiment, opts core.RunOptions, pol RetryPolicy) (core.Result, error) {
+	body, err := c.RunRawWithRetry(ctx, e, opts, pol)
+	if err != nil {
+		return core.Result{}, err
+	}
+	var res core.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		return core.Result{}, fmt.Errorf("decoding result: %w", err)
+	}
+	return res, nil
+}
+
+// SweepWithResume is Sweep behind the retry policy: when the stream drops
+// mid-sweep (truncation, transport failure, backpressure), it re-issues
+// the request and resumes from where the last attempt left off — cells
+// already delivered to fn are deduplicated by index, so fn sees every
+// cell exactly once no matter how many times the stream restarts. The
+// server replays completed cells from its memo cache, so a resume costs
+// bandwidth, not simulation time.
+func (c *Client) SweepWithResume(ctx context.Context, rq SweepRequest, pol RetryPolicy, fn func(SweepEvent) error) (SweepSummary, error) {
+	rng := rand.New(rand.NewSource(pol.Seed))
+	attempts := pol.attempts()
+	seen := make(map[int]bool)
+	for attempt := 1; ; attempt++ {
+		var fnErr error
+		summary, err := c.Sweep(ctx, rq, func(ev SweepEvent) error {
+			if ev.Index == nil {
+				return fmt.Errorf("sweep cell event without an index")
+			}
+			if seen[*ev.Index] {
+				return nil // replayed on resume; already delivered
+			}
+			if fn != nil {
+				if err := fn(ev); err != nil {
+					fnErr = err
+					return err
+				}
+			}
+			seen[*ev.Index] = true
+			return nil
+		})
+		if err == nil {
+			return summary, nil
+		}
+		if fnErr != nil {
+			return summary, fnErr // the caller aborted; not a stream fault
+		}
+		// A resumed stream replays every cell (the dedup above keeps fn
+		// exactly-once), so the per-attempt cell count matches the trailer
+		// again on a clean attempt.
+		if !Retryable(err) || attempt == attempts {
+			return SweepSummary{}, fmt.Errorf("sweep after %d attempts: %w", attempt, err)
+		}
+		d := pol.delay(attempt, rng, err)
+		if pol.OnRetry != nil {
+			pol.OnRetry(attempt, d, err)
+		}
+		if serr := pol.sleep(ctx, d); serr != nil {
+			return SweepSummary{}, serr
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"configwall/internal/core"
+	"configwall/internal/fault"
+	"configwall/internal/serve"
+)
+
+// instantSleep makes retry backoff free in tests while still honoring
+// context cancellation.
+func instantSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+// faultyClient wires a fault.Transport between the test client and server.
+func faultyClient(ts *httptest.Server, plan *fault.Plan, retryAfter int) *serve.Client {
+	return &serve.Client{
+		Base:       ts.URL,
+		HTTPClient: &http.Client{Transport: &fault.Transport{Plan: plan, RetryAfter: retryAfter}},
+	}
+}
+
+// TestZeroValueClientPools: a zero-value Client must lazily build the same
+// pooled transport NewClient configures — not fall back to
+// http.DefaultClient.
+func TestZeroValueClientPools(t *testing.T) {
+	_, ts, _ := newTestServer(t, serve.Options{})
+	c := &serve.Client{Base: ts.URL}
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hc := serve.ClientHTTPForTest(c)
+	if hc == http.DefaultClient {
+		t.Fatal("zero-value Client used http.DefaultClient")
+	}
+	tr, ok := hc.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("transport is %T, want *http.Transport", hc.Transport)
+	}
+	if tr.MaxIdleConnsPerHost != 256 {
+		t.Errorf("MaxIdleConnsPerHost = %d, want 256", tr.MaxIdleConnsPerHost)
+	}
+	if serve.ClientHTTPForTest(c) != hc {
+		t.Error("pooled client rebuilt on second use")
+	}
+	override := &http.Client{}
+	c2 := &serve.Client{Base: ts.URL, HTTPClient: override}
+	if serve.ClientHTTPForTest(c2) != override {
+		t.Error("explicit HTTPClient not honored")
+	}
+}
+
+// TestRetryable classifies errors the way the retry loop must.
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"canceled", context.Canceled, false},
+		{"deadline", fmt.Errorf("wrap: %w", context.DeadlineExceeded), false},
+		{"429", &serve.StatusError{Code: 429}, true},
+		{"500", &serve.StatusError{Code: 500}, true},
+		{"503", &serve.StatusError{Code: 503}, true},
+		{"404", &serve.StatusError{Code: 404}, false},
+		{"400", &serve.StatusError{Code: 400}, false},
+		{"unexpected EOF", fmt.Errorf("read: %w", io.ErrUnexpectedEOF), true},
+		{"truncated stream", fmt.Errorf("x: %w", serve.ErrTruncatedStream), true},
+		{"plain", errors.New("boom"), false},
+	}
+	for _, tc := range cases {
+		if got := serve.Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRunWithRetryHealsTransportFaults: resets, timeouts, injected 503s
+// and truncated bodies on the wire must all heal, and the healed body must
+// be byte-identical to the fault-free answer.
+func TestRunWithRetryHealsTransportFaults(t *testing.T) {
+	_, ts, _ := newTestServer(t, serve.Options{})
+	want := directBody(t, testExp, core.RunOptions{})
+
+	// Each site fires once at full rate; RoundTrip consults them in order
+	// and returns at the first that fires, so the four faults land on four
+	// consecutive attempts and the fifth goes clean.
+	plan := fault.New(3, map[fault.Site]fault.Rule{
+		fault.TransportReset:       {Rate: 1, Max: 1},
+		fault.TransportTimeout:     {Rate: 1, Max: 1},
+		fault.TransportUnavailable: {Rate: 1, Max: 1},
+		fault.TransportTruncate:    {Rate: 1, Max: 1},
+	})
+	c := faultyClient(ts, plan, 1)
+	retries := 0
+	pol := serve.RetryPolicy{
+		MaxAttempts: 6,
+		Sleep:       instantSleep,
+		OnRetry:     func(int, time.Duration, error) { retries++ },
+	}
+	body, err := c.RunRawWithRetry(context.Background(), testExp, core.RunOptions{}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("healed body differs from fault-free body")
+	}
+	if retries != 4 {
+		t.Errorf("retries = %d, want 4 (reset, timeout, 503, truncation)", retries)
+	}
+}
+
+// TestRunWithRetryGivesUp: attempts are bounded, and permanent errors
+// (plain 4xx) never retry at all.
+func TestRunWithRetryGivesUp(t *testing.T) {
+	_, ts, _ := newTestServer(t, serve.Options{})
+
+	t.Run("exhausted", func(t *testing.T) {
+		plan := fault.New(1, map[fault.Site]fault.Rule{fault.TransportReset: {Rate: 1}})
+		c := faultyClient(ts, plan, 0)
+		retries := 0
+		pol := serve.RetryPolicy{MaxAttempts: 3, Sleep: instantSleep, OnRetry: func(int, time.Duration, error) { retries++ }}
+		_, err := c.RunRawWithRetry(context.Background(), testExp, core.RunOptions{}, pol)
+		if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+			t.Errorf("err = %v, want exhaustion after 3 attempts", err)
+		}
+		if retries != 2 {
+			t.Errorf("retries = %d, want 2", retries)
+		}
+	})
+	t.Run("permanent", func(t *testing.T) {
+		c := serve.NewClient(ts.URL)
+		retries := 0
+		pol := serve.RetryPolicy{MaxAttempts: 5, Sleep: instantSleep, OnRetry: func(int, time.Duration, error) { retries++ }}
+		bad := core.Experiment{Target: "nosuch", Workload: "matmul", Pipeline: core.AllOptimizations, N: 8}
+		_, err := c.RunRawWithRetry(context.Background(), bad, core.RunOptions{}, pol)
+		var se *serve.StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+			t.Fatalf("err = %v, want a 400 StatusError", err)
+		}
+		if retries != 0 {
+			t.Errorf("retries = %d, want 0 for a permanent 400", retries)
+		}
+	})
+}
+
+// TestRetryHonorsRetryAfter: the server's Retry-After hint floors the
+// backoff, and MaxDelay caps it.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	_, ts, _ := newTestServer(t, serve.Options{})
+	plan := fault.New(1, map[fault.Site]fault.Rule{fault.TransportUnavailable: {Rate: 1, Max: 1}})
+	c := faultyClient(ts, plan, 30) // hint 30s, far above the cap
+	var delays []time.Duration
+	pol := serve.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+		Sleep:       instantSleep,
+		OnRetry:     func(_ int, d time.Duration, _ error) { delays = append(delays, d) },
+	}
+	if _, err := c.RunRawWithRetry(context.Background(), testExp, core.RunOptions{}, pol); err != nil {
+		t.Fatal(err)
+	}
+	if len(delays) != 1 {
+		t.Fatalf("retries = %d, want 1", len(delays))
+	}
+	if delays[0] != 20*time.Millisecond {
+		t.Errorf("delay = %v, want the 20ms cap (Retry-After 30s floored then capped)", delays[0])
+	}
+}
+
+// TestRetryJitterDeterministic: equal seeds replay the identical backoff
+// sequence; the chaos harness depends on this.
+func TestRetryJitterDeterministic(t *testing.T) {
+	_, ts, _ := newTestServer(t, serve.Options{})
+	sequence := func(seed int64) []time.Duration {
+		plan := fault.New(9, map[fault.Site]fault.Rule{fault.TransportReset: {Rate: 1}})
+		c := faultyClient(ts, plan, 0)
+		var ds []time.Duration
+		pol := serve.RetryPolicy{
+			MaxAttempts: 4,
+			Seed:        seed,
+			Sleep:       instantSleep,
+			OnRetry:     func(_ int, d time.Duration, _ error) { ds = append(ds, d) },
+		}
+		c.RunRawWithRetry(context.Background(), testExp, core.RunOptions{}, pol)
+		return ds
+	}
+	a, b := sequence(5), sequence(5)
+	if len(a) != 3 {
+		t.Fatalf("delays = %v, want 3 entries", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 5 reruns diverge: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestSweepRejectsTruncatedStreams: streams that end without a trailer,
+// carry a statusless trailer, keep talking after the trailer, or deliver
+// fewer cells than the trailer claims are all ErrTruncatedStream.
+func TestSweepRejectsTruncatedStreams(t *testing.T) {
+	cell := `{"index":0,"experiment":{"target":"opengemm","workload":"matmul","pipeline":3,"n":8},"result":{}}`
+	trailer := `{"done":true,"cells":1,"status":"ok"}`
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"no trailer", cell + "\n"},
+		{"statusless trailer", cell + "\n" + `{"done":true,"cells":1}` + "\n"},
+		{"events after trailer", cell + "\n" + trailer + "\n" + cell + "\n"},
+		{"cell count short", trailer + "\n"},
+		{"cut mid-line", cell + "\n" + trailer[:12]},
+		{"empty", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				io.WriteString(w, tc.body)
+			}))
+			defer ts.Close()
+			c := serve.NewClient(ts.URL)
+			_, err := c.Sweep(context.Background(), serve.SweepRequest{}, nil)
+			if !errors.Is(err, serve.ErrTruncatedStream) {
+				t.Errorf("err = %v, want ErrTruncatedStream", err)
+			}
+		})
+	}
+}
+
+// TestSweepAcceptsTrailedStream: a well-formed stream (all cells + trailer)
+// passes the strict validation and reports the trailer verdict.
+func TestSweepAcceptsTrailedStream(t *testing.T) {
+	_, ts, _ := newTestServer(t, serve.Options{})
+	c := serve.NewClient(ts.URL)
+	events := 0
+	sum, err := c.Sweep(context.Background(), serve.SweepRequest{
+		Targets: []string{"opengemm"}, Workloads: []string{"matmul"},
+		Pipelines: []string{"all"}, Sizes: []int{8, 16},
+	}, func(serve.SweepEvent) error { events++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Cells != 2 || sum.Failed != 0 || sum.Status != "ok" || events != 2 {
+		t.Errorf("summary = %+v with %d events, want 2 ok cells", sum, events)
+	}
+}
+
+// TestSweepWithResume: a stream cut mid-sweep resumes, every cell reaches
+// fn exactly once, and the summary is the clean attempt's trailer.
+func TestSweepWithResume(t *testing.T) {
+	_, ts, _ := newTestServer(t, serve.Options{})
+	// Truncate the first sweep response mid-stream; leave retries clean.
+	plan := fault.New(11, map[fault.Site]fault.Rule{fault.TransportTruncate: {Rate: 1, Max: 1}})
+	c := faultyClient(ts, plan, 0)
+
+	seen := make(map[int]int)
+	var order []int
+	retries := 0
+	pol := serve.RetryPolicy{MaxAttempts: 4, Sleep: instantSleep, OnRetry: func(int, time.Duration, error) { retries++ }}
+	sum, err := c.SweepWithResume(context.Background(), serve.SweepRequest{
+		Targets: []string{"opengemm"}, Workloads: []string{"matmul"},
+		Pipelines: []string{"base", "all"}, Sizes: []int{8, 16},
+	}, pol, func(ev serve.SweepEvent) error {
+		seen[*ev.Index]++
+		order = append(order, *ev.Index)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Cells != 4 || sum.Status != "ok" {
+		t.Errorf("summary = %+v, want 4 ok cells", sum)
+	}
+	if retries < 1 {
+		t.Error("stream was never truncated; fault did not fire")
+	}
+	if len(seen) != 4 {
+		t.Errorf("fn saw %d distinct cells %v, want 4", len(seen), order)
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %d delivered %d times, want exactly once", idx, n)
+		}
+	}
+}
+
+// TestSweepWithResumePropagatesFnError: a caller abort is not a stream
+// fault and must not be retried.
+func TestSweepWithResumePropagatesFnError(t *testing.T) {
+	_, ts, _ := newTestServer(t, serve.Options{})
+	c := serve.NewClient(ts.URL)
+	boom := errors.New("caller abort")
+	retries := 0
+	pol := serve.RetryPolicy{MaxAttempts: 4, Sleep: instantSleep, OnRetry: func(int, time.Duration, error) { retries++ }}
+	_, err := c.SweepWithResume(context.Background(), serve.SweepRequest{
+		Targets: []string{"opengemm"}, Workloads: []string{"matmul"},
+		Pipelines: []string{"all"}, Sizes: []int{8},
+	}, pol, func(serve.SweepEvent) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the caller's error", err)
+	}
+	if retries != 0 {
+		t.Errorf("retries = %d, want 0 on caller abort", retries)
+	}
+}

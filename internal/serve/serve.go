@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"configwall/internal/core"
+	"configwall/internal/fault"
 	"configwall/internal/sim"
 	"configwall/internal/store"
 )
@@ -64,6 +65,12 @@ type Options struct {
 	// always computes to completion, so without this cap a handful of
 	// huge-n requests could wedge every execution slot for hours.
 	MaxN int
+	// Fault, when non-nil, installs a fault-injection plan on the serving
+	// path (the chaos harness's hook): the plan's serve.handler.panic and
+	// serve.run.panic sites fire panics that the recovery layers must
+	// contain. Production servers leave it nil — the disabled check is
+	// one pointer comparison.
+	Fault *fault.Plan
 }
 
 const (
@@ -85,6 +92,7 @@ type Server struct {
 	mux           *http.ServeMux
 	maxSweepCells int
 	maxN          int
+	fault         *fault.Plan
 
 	baseCtx  context.Context
 	cancel   context.CancelFunc
@@ -128,9 +136,13 @@ func New(opts Options) (*Server, error) {
 		mux:           http.NewServeMux(),
 		maxSweepCells: maxCells,
 		maxN:          maxN,
+		fault:         opts.Fault,
 		baseCtx:       ctx,
 		cancel:        cancel,
 	}
+	// Panics recovered by the flight group (a poisoned workload, an
+	// injected run-path fault) count alongside handler-level recoveries.
+	s.flight.onPanic = s.met.panicked
 	s.mux.HandleFunc("/v1/run", s.instrument("run", s.handleRun))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/registry", s.instrument("registry", s.handleRegistry))
@@ -177,7 +189,13 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // still queued for admission. Call it after http.Server.Shutdown returns.
 func (s *Server) Close() { s.cancel() }
 
-// instrument wraps a handler with drain rejection and request metrics.
+// instrument wraps a handler with drain rejection, request metrics and
+// panic recovery: a panicking handler answers 500 (when nothing has been
+// written yet) instead of killing the connection with no response, the
+// recovery is counted in cwserve_panics_recovered_total, and the daemon
+// stays up. Admission slots and flight entries never leak across a panic
+// — their releases are deferred, and deferred calls run during the
+// unwind before the recovery here sees it.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
@@ -187,20 +205,43 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panicked()
+				// Best-effort 500: if the handler already wrote a status
+				// (or streamed part of a body), the wire is what it is —
+				// the client's truncation detection takes over from here.
+				if !sw.wrote {
+					http.Error(sw, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+				}
+			}
+			s.met.observe(endpoint, sw.code, time.Since(start))
+		}()
+		if s.fault.Fire(fault.ServeHandlerPanic) {
+			panic("fault: injected handler panic")
+		}
 		h(sw, r)
-		s.met.observe(endpoint, sw.code, time.Since(start))
 	}
 }
 
-// statusWriter records the status code a handler wrote.
+// statusWriter records the status code a handler wrote, and whether
+// anything was written at all (panic recovery can only synthesize a 500
+// on an untouched response).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }
 
 // Flush forwards streaming flushes (NDJSON sweeps) to the underlying
@@ -330,6 +371,14 @@ func (s *Server) execute(reqCtx context.Context, e core.Experiment, opts core.Ru
 				return core.Result{}, aerr
 			}
 			defer release()
+			// Injected after the slot is held and its release deferred: the
+			// unwind runs the deferred release, the flight group's recover
+			// contains the panic as this cell's error, and its deferred map
+			// cleanup removes the entry — the recovery contract the chaos
+			// campaign asserts (no leaked slots, no leaked flight entries).
+			if s.fault.Fire(fault.ServeRunPanic) {
+				panic("fault: injected run-path panic")
+			}
 			return s.runner.Run(runCtx, e, opts)
 		})
 		if coalesced && !wasCoalesced {
@@ -437,8 +486,11 @@ type SweepRequest struct {
 }
 
 // SweepEvent is one NDJSON line of a streaming sweep: a completed cell
-// (Result set), a failed cell (Error set), or the final summary line
-// (Done true).
+// (Result set), a failed cell (Error set), or the final trailer line
+// (Done true). The trailer is an end-of-stream sentinel: it carries the
+// total cell count, the failure count and an explicit Status, and the
+// client treats a stream that ends without one — or whose cell events
+// don't add up to Cells — as truncated, never as complete.
 type SweepEvent struct {
 	Index      *int             `json:"index,omitempty"`
 	Experiment *core.Experiment `json:"experiment,omitempty"`
@@ -447,6 +499,18 @@ type SweepEvent struct {
 	Done       bool             `json:"done,omitempty"`
 	Cells      int              `json:"cells,omitempty"`
 	Failed     int              `json:"failed,omitempty"`
+	// Status is "ok" or "error" on trailer lines (error when any cell
+	// failed) and empty on cell lines. A trailer without it is not a
+	// trailer: clients reject the stream as truncated.
+	Status string `json:"status,omitempty"`
+}
+
+// trailerStatus renders the sweep trailer's Status field.
+func trailerStatus(failed int) string {
+	if failed > 0 {
+		return "error"
+	}
+	return "ok"
 }
 
 // resolve validates the request and expands it into the experiment grid.
@@ -663,7 +727,7 @@ func (s *Server) topkSweep(w http.ResponseWriter, r *http.Request, exps []core.E
 			flusher.Flush()
 		}
 	}
-	enc.Encode(SweepEvent{Done: true, Cells: len(exps), Failed: failed})
+	enc.Encode(SweepEvent{Done: true, Cells: len(exps), Failed: failed, Status: trailerStatus(failed)})
 }
 
 // writeSweepResults renders an already-complete result set, either as
@@ -679,7 +743,7 @@ func (s *Server) writeSweepResults(w http.ResponseWriter, exps []core.Experiment
 				return
 			}
 		}
-		enc.Encode(SweepEvent{Done: true, Cells: len(exps)})
+		enc.Encode(SweepEvent{Done: true, Cells: len(exps), Status: trailerStatus(0)})
 		return
 	}
 	body, err := json.Marshal(results)
@@ -752,7 +816,7 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, exps []core
 			flusher.Flush()
 		}
 	}
-	enc.Encode(SweepEvent{Done: true, Cells: len(exps), Failed: failed})
+	enc.Encode(SweepEvent{Done: true, Cells: len(exps), Failed: failed, Status: trailerStatus(failed)})
 }
 
 // arraySweep waits for the whole grid and responds with one JSON array of
@@ -841,6 +905,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "# HELP cwserve_cache_store_errors_total Store load/save operational failures.\n")
 	fmt.Fprintf(&sb, "# TYPE cwserve_cache_store_errors_total counter\n")
 	fmt.Fprintf(&sb, "cwserve_cache_store_errors_total %d\n", st.StoreErrors)
+	// The alerting-facing alias: nonzero means the daemon is serving in
+	// degraded mode (results live in memory but stopped being durable) and
+	// /healthz says "degraded".
+	fmt.Fprintf(&sb, "# HELP cwserve_store_errors_total Tolerated persistent-store failures; nonzero means degraded (non-durable) serving.\n")
+	fmt.Fprintf(&sb, "# TYPE cwserve_store_errors_total counter\n")
+	fmt.Fprintf(&sb, "cwserve_store_errors_total %d\n", st.StoreErrors)
 
 	// Go runtime memory gauges: the allocation discipline of the serving
 	// hot paths (pooled execution contexts, trace buffers and response
@@ -877,5 +947,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// Degraded mode stays 200 — the server still answers correctly from
+	// memory, so load balancers must keep routing here — but the body
+	// tells operators durability is gone (see cwserve_store_errors_total).
+	if s.runner.Snapshot().StoreErrors > 0 {
+		fmt.Fprintln(w, "degraded")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }

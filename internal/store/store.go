@@ -81,6 +81,14 @@ func (s *DiskStore) path(fp string) string {
 	return filepath.Join(s.dir, h[:2], h+".json")
 }
 
+// EntryPath returns the file path the entry for (e, opts) lives at —
+// whether or not it exists yet. Crash-consistency tests and the fault
+// injector use it to corrupt or truncate specific entries the way a torn
+// write would; normal callers never need it.
+func (s *DiskStore) EntryPath(e core.Experiment, opts core.RunOptions) string {
+	return s.path(Fingerprint(e, opts))
+}
+
 // Load implements core.Store. Absent, corrupted, schema-mismatched or
 // key-mismatched entries report ok=false with a nil error; only
 // operational failures (e.g. permission denied) surface as errors.
