@@ -54,6 +54,7 @@ import (
 	"configwall/internal/serve"
 	"configwall/internal/sim"
 	"configwall/internal/store"
+	"configwall/internal/tune"
 )
 
 // Pipeline selects which of the paper's optimizations run.
@@ -458,3 +459,90 @@ type RetryPolicy = serve.RetryPolicy
 // Retryable reports whether an error from the serve client is worth
 // retrying on an idempotent request.
 func Retryable(err error) bool { return serve.Retryable(err) }
+
+// --- Configuration search (internal/tune, DESIGN.md §12) ---
+//
+// The search subsystem behind cmd/cwtune: pluggable strategies over the
+// (target × workload × pipeline × size) space, discovered from a daemon's
+// /v1/registry, measured through the self-healing client, compared under
+// equal budgets against an exhaustive ground truth, and validated on a
+// seeded held-out split the search never sees.
+
+// TuneStrategy is one pluggable configuration searcher.
+type TuneStrategy = tune.Strategy
+
+// TuneStrategyByName resolves a registered strategy ("exhaustive",
+// "random", "halving", "flash"); unknown names fail listing the valid
+// ones.
+func TuneStrategyByName(name string) (TuneStrategy, error) { return tune.StrategyByName(name) }
+
+// TuneStrategyNames lists the registered search strategies, sorted.
+func TuneStrategyNames() []string { return tune.StrategyNames() }
+
+// TuneSession is the budget ledger between a strategy and its evaluator:
+// memoized measurements, distinct-cell budget accounting and incumbent
+// tracking.
+type TuneSession = tune.Session
+
+// NewTuneSession builds a session over space with a distinct-cell budget
+// (<= 0 means the whole space) and a seed for the strategy's randomness.
+func NewTuneSession(space []Experiment, eval TuneEvaluator, budget int, seed int64) *TuneSession {
+	return tune.NewSession(space, eval, budget, seed)
+}
+
+// TuneEvaluator is how strategies measure cells (HTTP client or
+// in-process runner).
+type TuneEvaluator = tune.Evaluator
+
+// TuneClientEvaluator measures through a cwserve daemon via the retry
+// layer; its Screen issues fidelity=screen sweeps against the daemon's
+// analytic tier.
+type TuneClientEvaluator = tune.ClientEvaluator
+
+// TuneRunnerEvaluator measures directly against an in-process Runner.
+type TuneRunnerEvaluator = tune.RunnerEvaluator
+
+// TuneSpace is a discovered search space: searchable cells plus the
+// held-out validation cells excluded from every search.
+type TuneSpace = tune.Space
+
+// TuneFilters restricts a discovered search space by names and size.
+type TuneFilters = tune.Filters
+
+// TuneSpaceFromRegistry expands a daemon's registry response into a
+// search space with a seeded held-out split.
+func TuneSpaceFromRegistry(info ServeRegistryInfo, f TuneFilters, seed int64) (TuneSpace, error) {
+	return tune.SpaceFromRegistry(info, f, seed)
+}
+
+// TuneConfig configures one search campaign.
+type TuneConfig = tune.Config
+
+// TuneOutcome is one strategy's campaign result (sims, sims-to-best,
+// winner, held-out validation).
+type TuneOutcome = tune.Outcome
+
+// TuneReport is a finished campaign; String renders the deterministic
+// report, WallSummary the stderr-only timings.
+type TuneReport = tune.Report
+
+// RunTuneCampaign runs the configured strategies under equal budgets
+// against an exhaustive ground truth and validates the winners on the
+// held-out cells.
+func RunTuneCampaign(ctx context.Context, cfg TuneConfig) (*TuneReport, error) {
+	return tune.Run(ctx, cfg)
+}
+
+// ServeRegistryInfo is the /v1/registry response: registered names,
+// server caps, analytic-tier availability and per-(workload, target)
+// feasible size grids.
+type ServeRegistryInfo = serve.RegistryInfo
+
+// DefaultSizeGrid is the probe grid registry size discovery answers from.
+var DefaultSizeGrid = core.DefaultSizeGrid
+
+// SupportedSizes filters candidate sweep sizes down to those workload w
+// can actually build for target t.
+func SupportedSizes(t Target, w Workload, candidates []int) []int {
+	return core.SupportedSizes(t, w, candidates)
+}

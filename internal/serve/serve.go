@@ -34,6 +34,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -93,6 +94,12 @@ type Server struct {
 	maxSweepCells int
 	maxN          int
 	fault         *fault.Plan
+
+	// sizes caches the per-(workload, target) feasible size grids served
+	// by /v1/registry; the registry is append-only after init and the
+	// probe is pure, so computing it once per server life is safe.
+	sizesOnce sync.Once
+	sizes     map[string]map[string][]int
 
 	baseCtx  context.Context
 	cancel   context.CancelFunc
@@ -851,12 +858,26 @@ func (s *Server) arraySweep(w http.ResponseWriter, r *http.Request, exps []core.
 	w.Write(body)
 }
 
-// RegistryInfo is the response of GET /v1/registry.
+// RegistryInfo is the response of GET /v1/registry: everything a
+// configuration-search client (cmd/cwtune) needs to build its search space
+// without hardcoding the daemon's tiling rules or caps.
 type RegistryInfo struct {
 	Targets   []string `json:"targets"`
 	Workloads []string `json:"workloads"`
 	Pipelines []string `json:"pipelines"`
 	Engines   []string `json:"engines"`
+	// MaxN is the server's cap on any requested sweep size n.
+	MaxN int `json:"max_n"`
+	// MaxSweepCells caps the grid one /v1/sweep may expand to.
+	MaxSweepCells int `json:"max_sweep_cells"`
+	// Analytic reports whether a calibrated predictor is attached, i.e.
+	// whether fidelity=screen / fidelity=topk sweeps will be accepted.
+	Analytic bool `json:"analytic"`
+	// Sizes maps workload name → target name → the sweep sizes that
+	// (target, workload) pair can actually build, probed over
+	// core.DefaultSizeGrid capped at MaxN. A pair no grid size fits gets
+	// an empty list.
+	Sizes map[string]map[string][]int `json:"sizes"`
 }
 
 func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
@@ -869,13 +890,53 @@ func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
 		pipes[i] = p.String()
 	}
 	info := RegistryInfo{
-		Targets:   core.TargetNames(),
-		Workloads: core.WorkloadNames(),
-		Pipelines: pipes,
-		Engines:   sim.EngineNames(),
+		Targets:       core.TargetNames(),
+		Workloads:     core.WorkloadNames(),
+		Pipelines:     pipes,
+		Engines:       sim.EngineNames(),
+		MaxN:          s.maxN,
+		MaxSweepCells: s.maxSweepCells,
+		Analytic:      s.runner.Predictor() != nil,
+		Sizes:         s.registrySizes(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(info)
+}
+
+// registrySizes probes the feasible size grid for every (workload, target)
+// pair, once per server life. The JSON encoder sorts map keys, so the
+// response stays byte-deterministic.
+func (s *Server) registrySizes() map[string]map[string][]int {
+	s.sizesOnce.Do(func() {
+		candidates := make([]int, 0, len(core.DefaultSizeGrid))
+		for _, n := range core.DefaultSizeGrid {
+			if n <= s.maxN {
+				candidates = append(candidates, n)
+			}
+		}
+		sizes := make(map[string]map[string][]int)
+		for _, wName := range core.WorkloadNames() {
+			w, err := core.LookupWorkload(wName)
+			if err != nil {
+				continue
+			}
+			perTarget := make(map[string][]int)
+			for _, tName := range core.TargetNames() {
+				t, err := core.LookupTarget(tName)
+				if err != nil {
+					continue
+				}
+				feasible := core.SupportedSizes(t, w, candidates)
+				if feasible == nil {
+					feasible = []int{}
+				}
+				perTarget[tName] = feasible
+			}
+			sizes[wName] = perTarget
+		}
+		s.sizes = sizes
+	})
+	return s.sizes
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -616,6 +616,58 @@ func TestRegistry(t *testing.T) {
 	if !contains(info.Engines, "ref") || !contains(info.Engines, "fast") {
 		t.Errorf("engines = %v, want ref and fast", info.Engines)
 	}
+	if !contains(info.Pipelines, "base") || !contains(info.Pipelines, "all") {
+		t.Errorf("pipelines = %v, want base and all", info.Pipelines)
+	}
+	if info.MaxN <= 0 || info.MaxSweepCells <= 0 {
+		t.Errorf("caps not reported: max_n=%d max_sweep_cells=%d", info.MaxN, info.MaxSweepCells)
+	}
+	if info.Analytic {
+		t.Errorf("Analytic = true on a server without a predictor")
+	}
+	// The size grids must respect each target's tiling rules: gemmini
+	// matmul needs multiples of 16, opengemm multiples of 8 — so 8 is
+	// feasible for opengemm only, 16 for both, and nothing above MaxN
+	// appears.
+	gm := info.Sizes[core.WorkloadMatmul]["gemmini"]
+	og := info.Sizes[core.WorkloadMatmul]["opengemm"]
+	if len(gm) == 0 || len(og) == 0 {
+		t.Fatalf("matmul size grids missing: gemmini=%v opengemm=%v", gm, og)
+	}
+	if containsInt(gm, 8) {
+		t.Errorf("gemmini matmul sizes %v include 8 (tile is 16)", gm)
+	}
+	if !containsInt(gm, 16) || !containsInt(og, 8) || !containsInt(og, 16) {
+		t.Errorf("expected 16 in gemmini %v and 8,16 in opengemm %v", gm, og)
+	}
+	for _, n := range og {
+		if n > info.MaxN {
+			t.Errorf("size %d above the reported cap %d", n, info.MaxN)
+		}
+	}
+}
+
+// TestRegistryAnalytic: a server whose runner has a predictor attached
+// must advertise the analytic tier.
+func TestRegistryAnalytic(t *testing.T) {
+	sv, _, c := newTestServer(t, serve.Options{})
+	sv.Runner().SetPredictor(rankPredictor{})
+	info, err := c.Registry(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Analytic {
+		t.Errorf("Analytic = false with a predictor attached")
+	}
+}
+
+func containsInt(xs []int, want int) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
 }
 
 func contains(xs []string, want string) bool {

@@ -1,0 +1,41 @@
+package tune
+
+import (
+	"context"
+	"errors"
+	"sort"
+)
+
+// flash is the FLASH-style sequential model-based searcher (Nair et al.):
+// instead of fitting its own surrogate it reuses the daemon's calibrated
+// analytic tier — one fidelity=screen sweep predicts the whole space for
+// zero simulations — and then spends its simulation budget strictly in
+// predicted-best order, so full-fidelity /v1/run queries go only to
+// predicted winners.
+type flash struct{}
+
+func (flash) Name() string { return "flash" }
+
+func (flash) Search(ctx context.Context, s *Session) error {
+	preds, err := s.Screen(ctx)
+	if err != nil {
+		return err
+	}
+	rank := make([]int, len(preds))
+	for i := range rank {
+		rank[i] = i
+	}
+	// Descending predicted ops/cycle, ties to the lower space index.
+	sort.SliceStable(rank, func(a, b int) bool {
+		return preds[rank[a]].OpsPerCycle() > preds[rank[b]].OpsPerCycle()
+	})
+	for _, i := range rank {
+		if _, err := s.Measure(ctx, i); err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package tune
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"configwall/internal/core"
+)
+
+// capFactor is halving's per-rung runtime cap: a configuration whose
+// runtime at a rung exceeds capFactor × the rung's fastest fresh
+// measurement is eliminated outright (the LeapsAndBounds-style runtime
+// cap), before the usual keep-top-half cut.
+const capFactor = 8
+
+// halving is budgeted successive halving in the LeapsAndBounds style
+// (Weisz et al.). The arms are the (target, workload, pipeline) knobs;
+// the rungs are the distinct sweep sizes, ascending, so cheap small-n
+// simulations eliminate most knobs before any expensive large-n run. At
+// every rung each surviving knob is measured at the rung size (knobs the
+// size is infeasible for skip the rung), configurations slower than the
+// runtime cap are dropped, and the top half of the scored knobs by best
+// observed ops/cycle survives.
+type halving struct{}
+
+func (halving) Name() string { return "halving" }
+
+func (halving) Search(ctx context.Context, s *Session) error {
+	space := s.Space()
+
+	type knobKey struct {
+		target, workload string
+		pipeline         core.Pipeline
+	}
+	type knob struct {
+		bySize map[int]int // sweep size → space index
+		best   float64     // best observed ops/cycle
+		scored bool
+	}
+	var knobs []*knob
+	index := make(map[knobKey]*knob)
+	sizeSeen := make(map[int]bool)
+	var rungs []int
+	for i, e := range space {
+		k := knobKey{e.Target, e.Workload, e.Pipeline}
+		kn, ok := index[k]
+		if !ok {
+			kn = &knob{bySize: make(map[int]int)}
+			index[k] = kn
+			knobs = append(knobs, kn)
+		}
+		kn.bySize[e.N] = i
+		if !sizeSeen[e.N] {
+			sizeSeen[e.N] = true
+			rungs = append(rungs, e.N)
+		}
+	}
+	sort.Ints(rungs)
+
+	// Knobs are eliminated rung by rung; once a single knob survives, it
+	// keeps being promoted through the remaining rungs, so the search
+	// still reaches the survivor's large (and usually best) sizes.
+	alive := knobs
+	for _, sz := range rungs {
+		type meas struct {
+			kn  *knob
+			res core.Result
+		}
+		var fresh []meas
+		for _, kn := range alive {
+			idx, ok := kn.bySize[sz]
+			if !ok {
+				continue // rung size infeasible for this knob's target
+			}
+			res, err := s.Measure(ctx, idx)
+			if err != nil {
+				if errors.Is(err, ErrBudgetExhausted) {
+					return nil
+				}
+				return err
+			}
+			if perf := res.OpsPerCycle(); !kn.scored || perf > kn.best {
+				kn.best = perf
+				kn.scored = true
+			}
+			fresh = append(fresh, meas{kn, res})
+		}
+		if len(fresh) == 0 {
+			continue
+		}
+
+		// Runtime cap: the rung's fastest configuration sets the bar.
+		minCycles := fresh[0].res.Cycles
+		for _, m := range fresh[1:] {
+			if m.res.Cycles < minCycles {
+				minCycles = m.res.Cycles
+			}
+		}
+		capped := make(map[*knob]bool)
+		for _, m := range fresh {
+			if m.res.Cycles > capFactor*minCycles {
+				capped[m.kn] = true
+			}
+		}
+		surviving := alive[:0:0]
+		for _, kn := range alive {
+			if !capped[kn] {
+				surviving = append(surviving, kn)
+			}
+		}
+
+		// Keep the top half of the scored survivors by best observed
+		// ops/cycle (ties to the earlier knob); knobs no rung could score
+		// yet survive untouched.
+		var scored, unscored []*knob
+		for _, kn := range surviving {
+			if kn.scored {
+				scored = append(scored, kn)
+			} else {
+				unscored = append(unscored, kn)
+			}
+		}
+		sort.SliceStable(scored, func(a, b int) bool { return scored[a].best > scored[b].best })
+		keep := (len(scored) + 1) / 2
+		alive = append(scored[:keep:keep], unscored...)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package tune
+
+import (
+	"context"
+	"errors"
+)
+
+// randomSearch measures cells in a seeded uniform-random permutation
+// until the budget runs out — the standard no-information baseline every
+// informed strategy has to beat on sims-to-best-config.
+type randomSearch struct{}
+
+func (randomSearch) Name() string { return "random" }
+
+func (randomSearch) Search(ctx context.Context, s *Session) error {
+	for _, i := range s.Rand().Perm(len(s.Space())) {
+		if _, err := s.Measure(ctx, i); err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}

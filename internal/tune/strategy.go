@@ -1,0 +1,66 @@
+package tune
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Strategy is one pluggable configuration searcher. Search measures cells
+// through the session until it is done or the budget runs out; it must
+// treat ErrBudgetExhausted from Session.Measure as normal termination and
+// draw randomness only from Session.Rand.
+type Strategy interface {
+	// Name is the strategy's registry key.
+	Name() string
+	// Search runs the search over the session's space.
+	Search(ctx context.Context, s *Session) error
+}
+
+// strategies is the registry of built-in searchers, keyed by name.
+var strategies = map[string]func() Strategy{
+	"exhaustive": func() Strategy { return exhaustive{} },
+	"random":     func() Strategy { return randomSearch{} },
+	"halving":    func() Strategy { return halving{} },
+	"flash":      func() Strategy { return flash{} },
+}
+
+// StrategyNames returns the registered strategy names, sorted.
+func StrategyNames() []string {
+	names := make([]string, 0, len(strategies))
+	for n := range strategies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StrategyByName returns a fresh instance of the named strategy; the
+// error for unknown names lists the valid ones.
+func StrategyByName(name string) (Strategy, error) {
+	mk, ok := strategies[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown strategy %q (valid strategies: %s)", name, strings.Join(StrategyNames(), ", "))
+	}
+	return mk(), nil
+}
+
+// exhaustive measures every cell in space order — the ground-truth
+// reference the campaign compares every other strategy against.
+type exhaustive struct{}
+
+func (exhaustive) Name() string { return "exhaustive" }
+
+func (exhaustive) Search(ctx context.Context, s *Session) error {
+	for i := range s.Space() {
+		if _, err := s.Measure(ctx, i); err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
